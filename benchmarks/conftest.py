@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table/figure rows it regenerates (visible with
+``pytest benchmarks/ --benchmark-only -s`` and summarised in
+EXPERIMENTS.md) and times the generating computation with
+pytest-benchmark.
+"""
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    print(f"\n===== {title} =====")
+    print(text)

@@ -1,0 +1,41 @@
+"""Benchmarks regenerating Figures 1 and 2."""
+
+from conftest import emit
+
+from repro.study import dataset, figures, tables
+
+
+def test_fig1_rust_history(benchmark):
+    releases = benchmark(figures.fig1_rust_history)
+    rows = [[r.version, r.date.isoformat(), r.feature_changes, r.kloc]
+            for r in releases]
+    emit("Figure 1. Rust History (feature changes per release, total KLOC)",
+         tables.render_table(["Version", "Date", "Feature changes", "KLOC"],
+                             rows))
+    # The paper's envelope: churn collapses after Jan 2016, LOC grows.
+    before = [r.feature_changes for r in releases
+              if r.date < figures.STABLE_SINCE]
+    after = [r.feature_changes for r in releases
+             if r.date >= figures.STABLE_SINCE]
+    assert min(before) > max(after)
+    kloc = [r.kloc for r in releases]
+    assert kloc == sorted(kloc)
+
+
+def _rebuild_timeline():
+    records = dataset._build_all()
+    return figures.fig2_bug_fix_timeline(records)
+
+
+def test_fig2_bug_fix_timeline(benchmark):
+    timeline = benchmark(_rebuild_timeline)
+    lines = []
+    for project, series in sorted(timeline.items()):
+        pretty = " ".join(f"{quarter}:{count}"
+                          for quarter, count in series.items())
+        lines.append(f"{project:12} {pretty}")
+    emit("Figure 2. Time of Studied Bugs (fixes per quarter per project)",
+         "\n".join(lines))
+    total = sum(sum(s.values()) for s in timeline.values())
+    assert total == 170
+    assert figures.fig2_fixed_after_2016() == 145   # paper: "145 of 170"

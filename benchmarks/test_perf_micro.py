@@ -1,0 +1,148 @@
+"""§4.1 performance micro-benchmarks: the cost of safety checks.
+
+The paper measures real Rust ("unsafe memory access with
+slice::get_unchecked() is 4-5x faster than safe access with boundary
+checking"; "unsafe memory copy with ptr::copy_nonoverlapping() is 23%
+faster").  Our substrate is an interpreter, so absolute numbers differ;
+the *mechanism* — the safe path executes a bounds/validity check per
+access that the unsafe path skips — is identical, and the benchmarks
+document the measured gap plus the executed-check counters that explain
+it.
+"""
+
+import pytest
+
+from conftest import emit
+
+from repro.driver import compile_source
+from repro.mir.interp import Interpreter, ScheduleConfig
+
+N = 512
+
+CHECKED_SUM = f"""
+fn main() {{
+    let v = vec![1; {N}];
+    let mut total = 0;
+    for i in 0..{N} {{
+        total += v[i];
+    }}
+    println!("{{}}", total);
+}}
+"""
+
+UNCHECKED_SUM = f"""
+fn main() {{
+    let v = vec![1; {N}];
+    let mut total = 0;
+    for i in 0..{N} {{
+        unsafe {{ total += *v.get_unchecked(i); }}
+    }}
+    println!("{{}}", total);
+}}
+"""
+
+CHECKED_COPY = f"""
+fn main() {{
+    let src = vec![7u8; {N}];
+    let mut dst = vec![0u8; {N}];
+    dst.copy_from_slice(&src);
+    println!("{{}}", dst[{N} - 1]);
+}}
+"""
+
+UNCHECKED_COPY = f"""
+fn main() {{
+    let src = vec![7u8; {N}];
+    let mut dst = vec![0u8; {N}];
+    unsafe {{
+        ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr(), {N});
+    }}
+    println!("{{}}", dst[{N} - 1]);
+}}
+"""
+
+
+def _run(program, disable_bounds=False):
+    interp = Interpreter(program, schedule=ScheduleConfig(max_steps=10_000_000))
+    if disable_bounds:
+        interp.enable_bounds_checks = False
+    result = interp.run()
+    assert result.ok, result.error
+    return interp
+
+
+@pytest.fixture(scope="module")
+def programs():
+    out = {name: compile_source(src).program for name, src in [
+        ("checked_sum", CHECKED_SUM), ("unchecked_sum", UNCHECKED_SUM),
+        ("checked_copy", CHECKED_COPY), ("unchecked_copy", UNCHECKED_COPY),
+    ]}
+    # The "unsafe build": identical source, bounds checks not compiled in.
+    out["uncompiled_checks"] = compile_source(
+        CHECKED_SUM, emit_bounds_checks=False).program
+    return out
+
+
+@pytest.mark.benchmark(group="indexed-access")
+def test_safe_indexing_with_bounds_checks(benchmark, programs):
+    interp = benchmark(_run, programs["checked_sum"])
+    emit("§4.1 safe indexing",
+         f"bounds checks executed: {interp.bounds_checks} "
+         f"(one per access, paper: 4-5x slowdown mechanism)")
+    assert interp.bounds_checks >= N
+
+
+@pytest.mark.benchmark(group="indexed-access")
+def test_unsafe_get_unchecked(benchmark, programs):
+    interp = benchmark(_run, programs["unchecked_sum"])
+    emit("§4.1 get_unchecked",
+         f"unchecked accesses: {interp.unchecked_accesses}, "
+         f"bounds checks on the access path: 0")
+    assert interp.unchecked_accesses >= N
+
+
+@pytest.mark.benchmark(group="memcpy")
+def test_safe_copy_from_slice(benchmark, programs):
+    benchmark(_run, programs["checked_copy"])
+
+
+@pytest.mark.benchmark(group="memcpy")
+def test_unsafe_copy_nonoverlapping(benchmark, programs):
+    benchmark(_run, programs["unchecked_copy"])
+
+
+@pytest.mark.benchmark(group="bounds-ablation")
+def test_ablation_bounds_checks_on(benchmark, programs):
+    benchmark(_run, programs["checked_sum"])
+
+
+@pytest.mark.benchmark(group="bounds-ablation")
+def test_ablation_bounds_checks_off(benchmark, programs):
+    """Same source compiled *without* the Len/Lt/Assert sequence — the
+    faithful §4.1 comparison (rustc's unchecked access also simply lacks
+    the check code).  Executed-step counts make the gap deterministic."""
+    interp = benchmark(_run, programs["uncompiled_checks"])
+    assert interp.bounds_checks == 0
+
+
+def test_bounds_check_work_is_deterministic(benchmark, programs):
+    """Deterministic form of the §4.1 claim: the checked build executes
+    strictly more MIR steps per element than the unchecked build."""
+    from repro.mir.interp import Interpreter
+
+    def run_checked():
+        checked = Interpreter(programs["checked_sum"],
+                              schedule=ScheduleConfig(max_steps=10_000_000))
+        return checked.run()
+
+    checked_result = benchmark(run_checked)
+    unchecked = Interpreter(programs["uncompiled_checks"],
+                            schedule=ScheduleConfig(max_steps=10_000_000))
+    unchecked_result = unchecked.run()
+    assert checked_result.ok and unchecked_result.ok
+    emit("§4.1 deterministic work comparison",
+         f"checked build: {checked_result.steps} steps; unchecked build: "
+         f"{unchecked_result.steps} steps; ratio "
+         f"{checked_result.steps / unchecked_result.steps:.2f}x "
+         f"(paper: 4-5x wall-clock on real hardware)")
+    assert checked_result.steps > unchecked_result.steps

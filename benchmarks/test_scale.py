@@ -1,0 +1,26 @@
+"""Parameter sweep: pipeline cost vs corpus scale.
+
+The workload-generator sweep the deliverables require: how compile+detect
+time grows with corpus size (the paper ran its detectors over whole
+applications; linear-ish scaling is the property that makes that viable).
+"""
+
+import pytest
+
+from conftest import emit
+
+from repro.corpus import evaluate_detectors, generate_corpus
+
+
+@pytest.mark.parametrize("scale", [1, 2, 4])
+def test_detector_pipeline_scale(benchmark, scale):
+    corpus = generate_corpus(seed=0, scale=scale)
+    result = benchmark.pedantic(evaluate_detectors, args=(corpus,),
+                                rounds=1, iterations=1)
+    emit(f"scale={scale}",
+         f"{len(corpus.files)} files, {corpus.total_loc} LOC, "
+         f"{len(corpus.injected)} injections, "
+         f"{result.total_findings} findings")
+    for name, score in result.scores.items():
+        assert score.found == score.injected, (scale, name, score.missed)
+        assert score.false_positives == 0, (scale, name)

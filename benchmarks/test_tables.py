@@ -1,0 +1,112 @@
+"""Benchmarks regenerating Tables 1-4 and the §5/§6 statistics.
+
+Each benchmark rebuilds the full record set from scratch (the paper's
+"aggregate the labelled bugs" step) and prints the table the paper prints.
+Paper-vs-measured values are recorded in EXPERIMENTS.md; the tests in
+tests/test_study.py assert exact equality with the published numbers.
+"""
+
+from conftest import emit
+
+from repro.study import dataset, tables
+
+
+def _rebuild_and_table1():
+    records = dataset._build_all()
+    return tables.table1_studied_software(records), \
+        tables.table1_totals(records)
+
+
+def test_table1_studied_software(benchmark):
+    rows, totals = benchmark(_rebuild_and_table1)
+    body = [[r["software"], r["start"], r["stars"], r["commits"], r["loc_k"],
+             r["mem"], r["blk"], r["nblk"]] for r in rows]
+    emit("Table 1. Studied Applications and Libraries",
+         tables.render_table(
+             ["Software", "Start", "Stars", "Commits", "KLOC", "Mem", "Blk",
+              "NBlk"], body))
+    emit("Totals (paper: 70 memory / 59 blocking / 41 non-blocking)",
+         str(totals))
+    assert totals["memory"] == 70
+    assert totals["blocking"] == 59
+    assert totals["non_blocking"] == 41
+
+
+def _rebuild_and_table2():
+    records = dataset._build_all()
+    memory = [b for b in records if b.kind.value == "memory"]
+    return tables.table2_memory_categories(memory)
+
+
+def test_table2_memory_categories(benchmark):
+    rows = benchmark(_rebuild_and_table2)
+    headers = ["Category"] + [e.value for e in tables.TABLE2_EFFECT_ORDER] \
+        + ["Total"]
+    body = []
+    for r in rows:
+        body.append([r["category"]] +
+                    [f"{r[e.value][0]} ({r[e.value][1]})"
+                     for e in tables.TABLE2_EFFECT_ORDER] + [r["total"]])
+    emit("Table 2. Memory Bugs Category "
+         "(cells: count (count in interior-unsafe fn))",
+         tables.render_table(headers, body))
+    totals = {r["category"]: r["total"] for r in rows}
+    assert totals == {"safe": 1, "unsafe": 23, "safe -> unsafe": 31,
+                      "unsafe -> safe": 15}
+
+
+def test_section5_fix_strategies(benchmark):
+    fixes = benchmark(tables.section5_fix_strategies)
+    emit("§5.2 Memory-bug fix strategies "
+         "(paper: 30 / 22 / 9 / 9)", str(fixes))
+    assert fixes["conditionally skip code"] == 30
+    assert fixes["adjust lifetime"] == 22
+
+
+def test_table3_blocking_sync(benchmark):
+    rows = benchmark(tables.table3_blocking_sync)
+    headers = ["Software"] + [c.value for c in tables.TABLE3_COLUMNS] + \
+        ["Total"]
+    body = [[r["software"]] + [r[c.value] for c in tables.TABLE3_COLUMNS] +
+            [r["total"]] for r in rows]
+    emit("Table 3. Types of Synchronization in Blocking Bugs",
+         tables.render_table(headers, body))
+    total = rows[-1]
+    assert total["Mutex&Rwlock"] == 38 and total["total"] == 59
+
+
+def test_section6_blocking(benchmark):
+    def both():
+        return (tables.section6_blocking_causes(),
+                tables.section6_blocking_fixes())
+    causes, fixes = benchmark(both)
+    emit("§6.1 Blocking-bug causes (paper: 30 double lock / 7 order / ...)",
+         str(causes["causes"]))
+    emit("§6.1 Fixes (paper: 51/59 adjusted synchronisation, "
+         "21 guard-lifetime)", str(fixes))
+    assert causes["causes"]["double lock"] == 30
+    assert fixes["adjusted synchronisation (total)"] == 51
+
+
+def test_table4_data_sharing(benchmark):
+    rows = benchmark(tables.table4_data_sharing)
+    headers = ["Software"] + [c.value for c in tables.TABLE4_COLUMN_ORDER] \
+        + ["Total"]
+    body = [[r["software"]] + [r[c.value]
+                               for c in tables.TABLE4_COLUMN_ORDER] +
+            [r["total"]] for r in rows]
+    emit("Table 4. How Threads Communicate", tables.render_table(headers,
+                                                                 body))
+    total = rows[-1]
+    assert (total["Global"], total["Pointer"], total["Sync"], total["O.H."],
+            total["Atomic"], total["Mutex"], total["MSG"]) == \
+        (3, 12, 3, 5, 5, 10, 3)
+
+
+def test_section6_nonblocking(benchmark):
+    stats = benchmark(tables.section6_nonblocking_stats)
+    emit("§6.2 Non-blocking stats (paper: 23 unsafe-shared / 15 safe / "
+         "17 unsynchronised / 25 in safe code / 13 interior mutability)",
+         str(stats))
+    assert stats["share_via_unsafe"] == 23
+    assert stats["in_safe_code"] == 25

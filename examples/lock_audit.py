@@ -1,0 +1,127 @@
+"""Lock audit of a blockchain-client-style service (the paper's §6.1).
+
+Parity Ethereum contributed 27 of the study's 38 Mutex/RwLock blocking
+bugs; this example builds a miniature engine in the same style — shared
+state behind ``RwLock``, a sealing path, a peer table — runs the
+double-lock and lock-order detectors, shows the lock-guard regions the
+analysis computed, and demonstrates the paper's two fixes (saving the
+scrutinee into a local; consistent acquisition order).
+
+Run with::
+
+    python examples/lock_audit.py
+"""
+
+from repro import compile_source
+from repro.analysis.lifetime import compute_guard_regions
+from repro.detectors.base import AnalysisContext
+from repro.detectors.double_lock import DoubleLockDetector
+from repro.detectors.lock_order import LockOrderDetector
+
+ENGINE = """
+struct ChainState { height: i32, sealed: i32 }
+
+static PEERS: Mutex<i32> = Mutex::new(0);
+static QUEUE: Mutex<i32> = Mutex::new(0);
+
+fn validate(height: i32) -> Result<i32, i32> {
+    if height > 0 { Ok(height) } else { Err(height) }
+}
+
+// Figure 8's shape: the read guard from the match scrutinee is still held
+// when the arm takes the write lock on the same RwLock.
+fn import_block(state: &RwLock<ChainState>) {
+    match validate(state.read().unwrap().height) {
+        Ok(h) => {
+            let mut guard = state.write().unwrap();
+            guard.height = h + 1;
+        }
+        Err(e) => {}
+    };
+}
+
+// ABBA: the peer path locks PEERS then QUEUE ...
+fn broadcast() {
+    let peers = PEERS.lock().unwrap();
+    let queue = QUEUE.lock().unwrap();
+    print(*peers + *queue);
+}
+
+// ... while the queue path locks QUEUE then PEERS.
+fn drain_queue() {
+    let queue = QUEUE.lock().unwrap();
+    let peers = PEERS.lock().unwrap();
+    print(*peers + *queue);
+}
+"""
+
+ENGINE_FIXED = """
+struct ChainState { height: i32, sealed: i32 }
+
+static PEERS: Mutex<i32> = Mutex::new(0);
+static QUEUE: Mutex<i32> = Mutex::new(0);
+
+fn validate(height: i32) -> Result<i32, i32> {
+    if height > 0 { Ok(height) } else { Err(height) }
+}
+
+// The paper's fix: save the result to a local so the read guard's
+// lifetime (and the implicit unlock) ends before the match.
+fn import_block(state: &RwLock<ChainState>) {
+    let result = validate(state.read().unwrap().height);
+    match result {
+        Ok(h) => {
+            let mut guard = state.write().unwrap();
+            guard.height = h + 1;
+        }
+        Err(e) => {}
+    };
+}
+
+// Consistent PEERS -> QUEUE order on every path.
+fn broadcast() {
+    let peers = PEERS.lock().unwrap();
+    let queue = QUEUE.lock().unwrap();
+    print(*peers + *queue);
+}
+
+fn drain_queue() {
+    let peers = PEERS.lock().unwrap();
+    let queue = QUEUE.lock().unwrap();
+    print(*peers + *queue);
+}
+"""
+
+
+def audit(title: str, source: str) -> None:
+    print(f"\n==== {title} " + "=" * max(0, 60 - len(title)))
+    compiled = compile_source(source, name="engine.rs")
+    ctx = AnalysisContext(compiled.program)
+
+    body = compiled.program.functions["import_block"]
+    regions = compute_guard_regions(body, ctx.points_to(body))
+    print("lock-guard regions in import_block "
+          "(the §7.2 'record this release time' analysis):")
+    for region in regions:
+        blocks = sorted({bb for bb, _i in region.points})
+        print(f"  {region.kind:6} acquired in bb{region.acquire_block}, "
+              f"guard held through blocks {blocks}")
+
+    findings = []
+    for detector in (DoubleLockDetector(), LockOrderDetector()):
+        findings.extend(detector.run(ctx))
+    if findings:
+        print("findings:")
+        for finding in findings:
+            print("  " + finding.render(compiled.source))
+    else:
+        print("findings: none — the service is deadlock-clean")
+
+
+def main() -> None:
+    audit("buggy engine (Figure 8 + ABBA)", ENGINE)
+    audit("fixed engine (paper's patches applied)", ENGINE_FIXED)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Static analyses over MIR.
+
+These are the building blocks the paper's detectors are assembled from:
+
+* :mod:`repro.analysis.dataflow` — generic worklist solver;
+* :mod:`repro.analysis.liveness` — backward live-variable analysis;
+* :mod:`repro.analysis.init` — forward maybe-initialised / moved-out state
+  per local (the "state of each variable (alive or dead)" tracking of §7.1);
+* :mod:`repro.analysis.points_to` — flow-insensitive points-to over locals
+  ("for each pointer/reference, we conduct a points-to analysis", §7.1);
+* :mod:`repro.analysis.lifetime` — storage live-ranges and lock-guard
+  regions ("analyzing the lifetime of the return of lock()", §7.2);
+* :mod:`repro.analysis.borrowck` — an approximate NLL borrow checker;
+* :mod:`repro.analysis.callgraph` — call graph + inter-procedural summaries.
+"""
+
+from repro.analysis.dataflow import DataflowAnalysis, solve
+from repro.analysis.liveness import LivenessAnalysis, compute_liveness
+from repro.analysis.init import InitState, MaybeInitAnalysis, compute_init
+from repro.analysis.points_to import PointsTo, compute_points_to
+from repro.analysis.lifetime import GuardRegion, StorageRanges, compute_guard_regions, compute_storage_ranges
+from repro.analysis.callgraph import CallGraph, build_call_graph
+
+__all__ = [
+    "DataflowAnalysis", "solve",
+    "LivenessAnalysis", "compute_liveness",
+    "InitState", "MaybeInitAnalysis", "compute_init",
+    "PointsTo", "compute_points_to",
+    "GuardRegion", "StorageRanges", "compute_guard_regions",
+    "compute_storage_ranges",
+    "CallGraph", "build_call_graph",
+]

@@ -1,0 +1,196 @@
+"""Call graph and inter-procedural lock summaries.
+
+The paper's double-lock detector "covers the case where two lock
+acquisitions are in different functions by performing inter-procedural
+analysis" (§7.2).  The summary computed here maps every function to the
+set of abstract locks it (transitively) acquires, expressed in terms the
+caller can translate: argument positions and statics.
+
+Thread-spawn edges are kept separately — a lock acquired inside a spawned
+closure runs on another thread and must *not* be treated as a re-entrant
+acquisition by the spawning code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.lifetime import LOCK_ACQUIRE_OPS, resolve_ref_chain
+from repro.hir.builtins import BuiltinOp, FuncKind
+from repro.lang.source import Span
+from repro.lang.types import TyKind
+from repro.mir.nodes import (
+    Body, Program, RvalueKind, StatementKind, TerminatorKind,
+)
+
+# Abstract lock id, caller-translatable: ("arg", index, proj) | ("static", name)
+LockId = Tuple
+
+
+@dataclass
+class CallSite:
+    caller: str
+    callee: str
+    block: int
+    span: Span
+    is_spawn: bool = False
+    #: For each callee argument position: the caller argument index that
+    #: flows into it (via a direct reference chain), or None.
+    arg_sources: List[Optional[int]] = field(default_factory=list)
+
+
+@dataclass
+class CallGraph:
+    program: Program
+    call_sites: List[CallSite] = field(default_factory=list)
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    spawn_edges: Dict[str, Set[str]] = field(default_factory=dict)
+    #: fn key → abstract locks it may acquire (transitively, same thread).
+    lock_summaries: Dict[str, Set[LockId]] = field(default_factory=dict)
+
+    def callees(self, key: str) -> Set[str]:
+        return self.edges.get(key, set())
+
+    def sites_in(self, key: str) -> List[CallSite]:
+        return [s for s in self.call_sites if s.caller == key]
+
+    def transitive_callees(self, key: str,
+                           include_spawned: bool = False) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [key]
+        while stack:
+            node = stack.pop()
+            nexts = set(self.edges.get(node, set()))
+            if include_spawned:
+                nexts |= self.spawn_edges.get(node, set())
+            for nxt in nexts:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def reachable_from_spawn(self) -> Set[str]:
+        """Functions that may run on a spawned thread."""
+        roots: Set[str] = set()
+        for spawned in self.spawn_edges.values():
+            roots |= spawned
+        result = set(roots)
+        for root in roots:
+            result |= self.transitive_callees(root, include_spawned=True)
+        return result
+
+
+def _closure_keys_in_args(body: Body, term) -> List[str]:
+    keys = []
+    for arg in term.args:
+        if arg.place is None:
+            continue
+        ty = body.local_ty(arg.place.local)
+        if ty.kind is TyKind.CLOSURE:
+            keys.append(ty.name)
+    return keys
+
+
+def _arg_index_of_local(body: Body, local: int) -> Optional[int]:
+    base, _proj = resolve_ref_chain(body, local)
+    if 0 < base <= body.arg_count:
+        return base - 1
+    return None
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    graph = CallGraph(program)
+
+    for key, body in program.functions.items():
+        graph.edges.setdefault(key, set())
+        graph.spawn_edges.setdefault(key, set())
+        for bb, term in body.iter_terminators():
+            if term.kind is not TerminatorKind.CALL or term.func is None:
+                continue
+            func = term.func
+            if func.builtin_op is BuiltinOp.THREAD_SPAWN:
+                for closure_key in _closure_keys_in_args(body, term):
+                    graph.spawn_edges[key].add(closure_key)
+                    graph.call_sites.append(CallSite(
+                        caller=key, callee=closure_key, block=bb,
+                        span=term.span, is_spawn=True))
+                continue
+            callee_key: Optional[str] = None
+            if func.kind is FuncKind.USER:
+                callee_key = func.user_fn
+            elif func.kind is FuncKind.CLOSURE:
+                callee_key = func.user_fn
+            elif func.builtin_op is BuiltinOp.ONCE_CALL_ONCE:
+                # call_once(closure) executes the closure synchronously.
+                for closure_key in _closure_keys_in_args(body, term):
+                    callee_key = closure_key
+            if callee_key is None or callee_key not in program.functions:
+                continue
+            graph.edges[key].add(callee_key)
+            arg_sources = [_arg_index_of_local(body, a.place.local)
+                           if a.place is not None else None
+                           for a in term.args]
+            graph.call_sites.append(CallSite(
+                caller=key, callee=callee_key, block=bb, span=term.span,
+                arg_sources=arg_sources))
+
+    _compute_lock_summaries(graph)
+    return graph
+
+
+def direct_locks(body: Body) -> Set[LockId]:
+    """Abstract locks directly acquired in ``body`` (caller-translatable
+    ids only: args and statics).  Each entry is
+    ``(kind_of_id, payload, projection, lock_kind)`` where ``lock_kind`` is
+    "mutex" / "read" / "write" / ..."""
+    locks: Set[LockId] = set()
+    for _bb, term in body.iter_terminators():
+        if term.kind is not TerminatorKind.CALL or term.func is None:
+            continue
+        lock_kind = LOCK_ACQUIRE_OPS.get(term.func.builtin_op)
+        if lock_kind is None:
+            continue
+        if not term.args or term.args[0].place is None:
+            continue
+        recv = term.args[0].place.local
+        base, proj = resolve_ref_chain(body, recv)
+        proj_key = tuple((p.field_name or str(p.field_index)) for p in proj)
+        name = body.locals[base].name or ""
+        if name.startswith("static:"):
+            locks.add(("static", name[7:], proj_key, lock_kind))
+        elif 0 < base <= body.arg_count:
+            locks.add(("arg", base - 1, proj_key, lock_kind))
+    return locks
+
+
+def _translate(lock: LockId, site: CallSite) -> Optional[LockId]:
+    """Translate a callee lock id into the caller's frame."""
+    if lock[0] == "static":
+        return lock
+    if lock[0] == "arg":
+        index = lock[1]
+        if index < len(site.arg_sources) and site.arg_sources[index] is not None:
+            return ("arg", site.arg_sources[index], lock[2], lock[3])
+    return None
+
+
+def _compute_lock_summaries(graph: CallGraph) -> None:
+    program = graph.program
+    summaries: Dict[str, Set[LockId]] = {
+        key: direct_locks(body) for key, body in program.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for site in graph.call_sites:
+            if site.is_spawn:
+                continue
+            callee_locks = summaries.get(site.callee, set())
+            caller_locks = summaries.setdefault(site.caller, set())
+            for lock in callee_locks:
+                translated = _translate(lock, site)
+                if translated is not None and translated not in caller_locks:
+                    caller_locks.add(translated)
+                    changed = True
+    graph.lock_summaries = summaries

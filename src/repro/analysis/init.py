@@ -1,0 +1,88 @@
+"""Forward initialisation-state analysis.
+
+Tracks, per local, whether it is *maybe initialised* and whether it is
+*maybe moved-out* at each program point.  This replicates the drop-flag
+reasoning rustc's drop elaboration performs and is what lets the detectors
+distinguish a live owner from a hollowed-out one (paper §5.1's double-free
+via ``ptr::read`` duplication, invalid-free via never-initialised struct).
+
+State elements are tagged locals: ``("init", l)`` and ``("moved", l)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Tuple
+
+from repro.analysis.dataflow import DataflowAnalysis, solve, statement_states
+from repro.mir.nodes import (
+    Body, Statement, StatementKind, Terminator, TerminatorKind,
+)
+
+
+class InitState(enum.Enum):
+    UNINIT = "uninit"
+    MAYBE_INIT = "maybe_init"
+    INIT = "init"
+    MOVED = "moved"
+
+
+class MaybeInitAnalysis(DataflowAnalysis):
+    """May-analysis over ``("init", local)`` / ``("moved", local)`` tags."""
+
+    FORWARD = True
+    JOIN_UNION = True
+
+    def boundary_state(self):
+        tags = set()
+        for local in self.body.locals:
+            if local.is_arg:
+                tags.add(("init", local.index))
+        return frozenset(tags)
+
+    def transfer_statement(self, state, stmt: Statement, block, index):
+        tags = set(state)
+        if stmt.kind is StatementKind.ASSIGN:
+            # Moves out of operand locals.
+            if stmt.rvalue is not None:
+                for op in stmt.rvalue.operands:
+                    if op.is_move and op.place is not None and op.place.is_local:
+                        tags.add(("moved", op.place.local))
+                        tags.discard(("init", op.place.local))
+            if stmt.place.is_local:
+                tags.add(("init", stmt.place.local))
+                tags.discard(("moved", stmt.place.local))
+        elif stmt.kind is StatementKind.DROP:
+            if stmt.place.is_local:
+                tags.discard(("init", stmt.place.local))
+        elif stmt.kind is StatementKind.STORAGE_LIVE:
+            tags.discard(("init", stmt.local))
+            tags.discard(("moved", stmt.local))
+        elif stmt.kind is StatementKind.STORAGE_DEAD:
+            tags.discard(("init", stmt.local))
+            tags.discard(("moved", stmt.local))
+        return frozenset(tags)
+
+    def transfer_terminator(self, state, term: Terminator, block):
+        tags = set(state)
+        if term.kind is TerminatorKind.CALL:
+            for op in term.args:
+                if op.is_move and op.place is not None and op.place.is_local:
+                    tags.add(("moved", op.place.local))
+                    tags.discard(("init", op.place.local))
+            if term.destination is not None and term.destination.is_local:
+                tags.add(("init", term.destination.local))
+                tags.discard(("moved", term.destination.local))
+        return frozenset(tags)
+
+
+def compute_init(body: Body) -> Dict[int, FrozenSet[Tuple[str, int]]]:
+    """Block-entry init states for ``body``."""
+    return solve(MaybeInitAnalysis(body))
+
+
+def init_states_in_block(body: Body, entry_states, block_index: int):
+    """Per-statement init states (before each statement, then before the
+    terminator)."""
+    return statement_states(MaybeInitAnalysis(body), entry_states,
+                            block_index)

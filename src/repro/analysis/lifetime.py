@@ -1,0 +1,406 @@
+"""Storage live-ranges and lock-guard regions.
+
+Two lifetime views feed the detectors:
+
+* :func:`compute_storage_ranges` — for every local, the program points
+  where its storage is live (between ``StorageLive`` and ``StorageDead``),
+  the §7.1 "state of each variable (alive or dead)";
+* :func:`compute_guard_regions` — for every lock-acquisition call site,
+  the region of program points during which the returned guard is still
+  held, following the guard value through ``unwrap``/moves until its drop
+  — the §7.2 "lifetime of the variable returned by lock(), read(), or
+  write()" analysis, including Rust's implicit unlock.
+
+Program points are ``(block, index)`` pairs; ``index == len(statements)``
+denotes the terminator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.points_to import PointsTo
+from repro.hir.builtins import BuiltinOp, FuncKind
+from repro.lang.source import Span
+from repro.mir.cfg import Cfg
+from repro.mir.nodes import (
+    Body, Operand, Place, RvalueKind, StatementKind, TerminatorKind,
+)
+
+Point = Tuple[int, int]
+
+# Lock-acquisition operations and what they lock.
+LOCK_ACQUIRE_OPS = {
+    BuiltinOp.MUTEX_LOCK: "mutex",
+    BuiltinOp.RWLOCK_READ: "read",
+    BuiltinOp.RWLOCK_WRITE: "write",
+    BuiltinOp.REFCELL_BORROW: "borrow",
+    BuiltinOp.REFCELL_BORROW_MUT: "borrow_mut",
+}
+# try_* variants acquire but cannot deadlock by blocking.
+TRY_ACQUIRE_OPS = {
+    BuiltinOp.MUTEX_TRY_LOCK: "mutex",
+    BuiltinOp.RWLOCK_TRY_READ: "read",
+    BuiltinOp.RWLOCK_TRY_WRITE: "write",
+}
+
+# Ops that move a value out of their (by-ref) receiver.
+_EXTRACT_OPS = {BuiltinOp.UNWRAP, BuiltinOp.EXPECT, BuiltinOp.OK_METHOD,
+                BuiltinOp.TAKE, BuiltinOp.UNWRAP_OR}
+
+
+@dataclass
+class StorageRanges:
+    """Per-local storage liveness."""
+
+    body: Body
+    live_points: Dict[int, Set[Point]] = field(default_factory=dict)
+    live_at_entry: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+
+    def is_live_at(self, local: int, point: Point) -> bool:
+        return point in self.live_points.get(local, set())
+
+
+def compute_storage_ranges(body: Body) -> StorageRanges:
+    """Forward reachability of storage-liveness per local."""
+    cfg = Cfg(body)
+    n = len(body.blocks)
+    # Block-entry live sets (arguments are live from entry).
+    args = frozenset(l.index for l in body.locals if l.is_arg or l.index == 0)
+    entry: Dict[int, Set[int]] = {0: set(args)}
+    worklist = deque([0])
+    result = StorageRanges(body)
+
+    def block_transfer(bb: int, record: bool) -> Set[int]:
+        live = set(entry.get(bb, set()))
+        block = body.blocks[bb]
+        for i, stmt in enumerate(block.statements):
+            if record:
+                for l in live:
+                    result.live_points.setdefault(l, set()).add((bb, i))
+            if stmt.kind is StatementKind.STORAGE_LIVE:
+                live.add(stmt.local)
+            elif stmt.kind is StatementKind.STORAGE_DEAD:
+                live.discard(stmt.local)
+        if record:
+            term_point = (bb, len(block.statements))
+            for l in live:
+                result.live_points.setdefault(l, set()).add(term_point)
+        return live
+
+    while worklist:
+        bb = worklist.popleft()
+        out = block_transfer(bb, record=False)
+        for succ in cfg.successors[bb]:
+            prev = entry.get(succ)
+            if prev is None:
+                entry[succ] = set(out)
+                worklist.append(succ)
+            elif not out <= prev:
+                prev |= out
+                worklist.append(succ)
+
+    for bb in range(n):
+        if bb in entry or bb == 0:
+            block_transfer(bb, record=True)
+    result.live_at_entry = {bb: frozenset(s) for bb, s in entry.items()}
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Lock identity
+# ---------------------------------------------------------------------------
+
+def resolve_ref_chain(body: Body, local: int,
+                      max_hops: int = 8) -> Tuple[int, Tuple]:
+    """Follow ``temp = &place`` / ``temp = copy other`` chains to the base
+    local a reference temp ultimately refers to.
+
+    Returns ``(base_local, projection_path)``.
+    """
+    assigns: Dict[int, object] = {}
+    for _bb, _i, stmt in body.iter_statements():
+        if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local:
+            assigns.setdefault(stmt.place.local, stmt.rvalue)
+
+    current = local
+    projection: Tuple = ()
+    for _ in range(max_hops):
+        rv = assigns.get(current)
+        if rv is None:
+            break
+        if rv.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF):
+            projection = tuple(p for p in rv.place.projection
+                               if p.kind == "field") + projection
+            current = rv.place.local
+            continue
+        if rv.kind is RvalueKind.USE and rv.operands[0].place is not None \
+                and rv.operands[0].place.is_local:
+            current = rv.operands[0].place.local
+            continue
+        if rv.kind is RvalueKind.CAST and rv.operands[0].place is not None \
+                and rv.operands[0].place.is_local:
+            current = rv.operands[0].place.local
+            continue
+        break
+    return current, projection
+
+
+def lock_identity(body: Body, pt: PointsTo, receiver_temp: int) -> FrozenSet:
+    """A set of abstract ids for the lock object a lock-call receiver
+    denotes.  Two acquisitions *may* target the same lock when their id
+    sets intersect."""
+    base, projection = resolve_ref_chain(body, receiver_temp)
+    ids: Set[Tuple] = set()
+    proj_key = tuple((p.field_name or str(p.field_index)) for p in projection)
+    for target in pt.targets(base):
+        if target[0] in ("heap", "static", "local"):
+            ids.add((target[0], target[1], proj_key))
+    name = body.locals[base].name or ""
+    if name.startswith("static:"):
+        ids.add(("static", name[7:], proj_key))
+    if 0 < base <= body.arg_count:
+        ids.add(("arg", base - 1, proj_key))
+    # Always include the plain base-local id so aliases introduced by
+    # points-to agree with direct uses of the same local.
+    ids.add(("local", base, proj_key))
+    return frozenset(ids)
+
+
+# ---------------------------------------------------------------------------
+# Guard regions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GuardRegion:
+    """One lock acquisition and the region during which its guard lives."""
+
+    body: Body
+    acquire_block: int
+    op: BuiltinOp
+    kind: str                       # "mutex" | "read" | "write" | ...
+    lock_ids: FrozenSet
+    span: Span
+    guard_chain: Set[int] = field(default_factory=set)
+    points: Set[Point] = field(default_factory=set)
+    release_points: Set[Point] = field(default_factory=set)
+    is_try: bool = False
+
+    def covers(self, point: Point) -> bool:
+        return point in self.points
+
+    @property
+    def is_write_like(self) -> bool:
+        return self.kind in ("mutex", "write", "borrow_mut")
+
+    def conflicts_with(self, other_kind: str) -> bool:
+        """Would acquiring ``other_kind`` on the same lock block / panic
+        while this guard is held?"""
+        if self.kind == "mutex" or other_kind == "mutex":
+            return True
+        if self.kind in ("read",) and other_kind in ("read",):
+            return False           # RwLock allows concurrent reads
+        if self.kind in ("borrow",) and other_kind in ("borrow",):
+            return False
+        return True
+
+
+def _guardish_ty(ty) -> bool:
+    """Can a value of this type hold (or contain) a lock guard?"""
+    if ty.is_unknown:
+        return True
+    if ty.is_guard:
+        return True
+    from repro.lang.types import TyKind
+    if ty.kind is TyKind.BUILTIN and ty.name in ("Result", "Option"):
+        inner = ty.arg(0)
+        return inner.is_guard or inner.is_unknown
+    return False
+
+
+def _guard_chain(body: Body, seed: int) -> Set[int]:
+    """Locals through which the guard value may flow (unwrap / moves)."""
+    ref_map: Dict[int, int] = {}
+    for _bb, _i, stmt in body.iter_statements():
+        if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
+                and stmt.rvalue is not None \
+                and stmt.rvalue.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF) \
+                and stmt.rvalue.place.is_local:
+            ref_map[stmt.place.local] = stmt.rvalue.place.local
+
+    chain = {seed}
+    changed = True
+    while changed:
+        changed = False
+        for _bb, _i, stmt in body.iter_statements():
+            if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
+                    and stmt.rvalue is not None \
+                    and stmt.rvalue.kind is RvalueKind.USE:
+                op = stmt.rvalue.operands[0]
+                # Whole-value moves and payload extraction by pattern
+                # destructuring (`Ok(g) =>` binds `g = tmp.0`) both carry
+                # the guard along — but only into guard-compatible
+                # destinations (copying `*g` out as an i32 does not).
+                if op.place is not None \
+                        and op.place.local in chain \
+                        and stmt.place.local not in chain \
+                        and _guardish_ty(body.local_ty(stmt.place.local)):
+                    chain.add(stmt.place.local)
+                    changed = True
+        for _bb, term in body.iter_terminators():
+            if term.kind is not TerminatorKind.CALL or term.func is None:
+                continue
+            if term.func.builtin_op in _EXTRACT_OPS and term.args:
+                arg = term.args[0]
+                if arg.place is not None and arg.place.is_local:
+                    src = arg.place.local
+                    src = ref_map.get(src, src)
+                    if src in chain and term.destination is not None \
+                            and term.destination.is_local \
+                            and term.destination.local not in chain:
+                        chain.add(term.destination.local)
+                        changed = True
+    return chain
+
+
+def compute_guard_regions(body: Body, pt: Optional[PointsTo] = None,
+                          include_try: bool = False) -> List[GuardRegion]:
+    """Find every lock acquisition in ``body`` and compute its held region."""
+    from repro.analysis.points_to import compute_points_to
+    if pt is None:
+        pt = compute_points_to(body)
+    cfg = Cfg(body)
+    regions: List[GuardRegion] = []
+
+    for bb, term in body.iter_terminators():
+        if term.kind is not TerminatorKind.CALL or term.func is None:
+            continue
+        op = term.func.builtin_op
+        is_try = op in TRY_ACQUIRE_OPS
+        if op not in LOCK_ACQUIRE_OPS and not (include_try and is_try):
+            continue
+        if term.destination is None or not term.destination.is_local:
+            continue
+        kind = LOCK_ACQUIRE_OPS.get(op) or TRY_ACQUIRE_OPS.get(op)
+        recv = term.args[0].place.local if term.args and \
+            term.args[0].place is not None else None
+        if recv is None:
+            continue
+        region = GuardRegion(
+            body=body, acquire_block=bb, op=op, kind=kind,
+            lock_ids=lock_identity(body, pt, recv), span=term.span,
+            is_try=is_try)
+        region.guard_chain = _guard_chain(body, term.destination.local)
+        _propagate_region(body, cfg, region, term)
+        regions.append(region)
+    return regions
+
+
+def _propagate_region(body: Body, cfg: Cfg, region: GuardRegion,
+                      acquire_term) -> None:
+    """Forward dataflow of the held-guard set from the acquisition."""
+    chain = region.guard_chain
+    start_block = acquire_term.target
+    if start_block is None:
+        return
+    entry: Dict[int, Set[int]] = {start_block:
+                                  {acquire_term.destination.local}}
+    worklist = deque([start_block])
+    ref_map: Dict[int, int] = {}
+    for _bb, _i, stmt in body.iter_statements():
+        if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
+                and stmt.rvalue is not None \
+                and stmt.rvalue.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF) \
+                and stmt.rvalue.place.is_local:
+            ref_map[stmt.place.local] = stmt.rvalue.place.local
+
+    visited_with: Dict[int, Set[int]] = {}
+    while worklist:
+        bb = worklist.popleft()
+        held = set(entry.get(bb, set()))
+        seen = visited_with.get(bb)
+        if seen is not None and held <= seen:
+            continue
+        visited_with[bb] = set(held) | (seen or set())
+        block = body.blocks[bb]
+        for i, stmt in enumerate(block.statements):
+            if not held:
+                break
+            region.points.add((bb, i))
+            if stmt.kind is StatementKind.ASSIGN and stmt.rvalue is not None:
+                ops = stmt.rvalue.operands
+                moved = [o.place.local for o in ops
+                         if o.is_move and o.place is not None
+                         and o.place.local in held]
+                copied_from_held = [o.place.local for o in ops
+                                    if not o.is_move and o.place is not None
+                                    and o.place.projection
+                                    and o.place.local in held]
+                for m in moved:
+                    held.discard(m)
+                if stmt.place.is_local and stmt.place.local in chain \
+                        and (moved or copied_from_held):
+                    held.add(stmt.place.local)
+            elif stmt.kind is StatementKind.DROP:
+                if stmt.place.is_local and stmt.place.local in held:
+                    held.discard(stmt.place.local)
+                    if not held:
+                        region.release_points.add((bb, i))
+            elif stmt.kind is StatementKind.STORAGE_DEAD:
+                if stmt.local in held:
+                    held.discard(stmt.local)
+                    if not held:
+                        region.release_points.add((bb, i))
+        if not held:
+            continue
+        term = block.terminator
+        term_point = (bb, len(block.statements))
+        region.points.add(term_point)
+        if term is not None and term.kind is TerminatorKind.CALL:
+            func_op = term.func.builtin_op if term.func else None
+            for arg in term.args:
+                if arg.place is None or not arg.place.is_local:
+                    continue
+                src = arg.place.local
+                deref_src = ref_map.get(src, src)
+                if arg.is_move and src in held:
+                    held.discard(src)
+                    if term.destination is not None and \
+                            term.destination.is_local and \
+                            term.destination.local in chain:
+                        held.add(term.destination.local)
+                    elif func_op is BuiltinOp.MEM_DROP and not held:
+                        region.release_points.add(term_point)
+                elif func_op in _EXTRACT_OPS and deref_src in held:
+                    held.discard(deref_src)
+                    if term.destination is not None and \
+                            term.destination.is_local and \
+                            term.destination.local in chain:
+                        held.add(term.destination.local)
+            # Explicit unlock (Suggestion 7): guard.unlock() releases.
+            if func_op is BuiltinOp.GUARD_UNLOCK:
+                for arg in term.args[:1]:
+                    if arg.place is not None and arg.place.is_local:
+                        src = ref_map.get(arg.place.local, arg.place.local)
+                        if src in held:
+                            held.discard(src)
+                            if not held:
+                                region.release_points.add(term_point)
+            # Condvar::wait releases the lock while blocked; treat the wait
+            # call itself as ending the region (re-acquisition starts anew).
+            if func_op is BuiltinOp.CONDVAR_WAIT:
+                for arg in term.args[1:]:
+                    if arg.place is not None and arg.place.is_local and \
+                            arg.place.local in held:
+                        held.discard(arg.place.local)
+        if term is not None and held:
+            for succ in term.successors():
+                prev = entry.get(succ)
+                if prev is None:
+                    entry[succ] = set(held)
+                    worklist.append(succ)
+                elif not held <= prev:
+                    prev |= held
+                    worklist.append(succ)

@@ -1,0 +1,121 @@
+"""Backward live-variable analysis over MIR locals.
+
+A local is *live* at a program point when some path from that point reads
+it before (re)defining it.  Used by the borrow checker (NLL-style borrow
+regions end at last use) and by detector heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.analysis.dataflow import DataflowAnalysis, solve
+from repro.mir.nodes import (
+    Body, Operand, Place, Rvalue, RvalueKind, Statement, StatementKind,
+    Terminator, TerminatorKind,
+)
+
+
+def place_reads(place: Place) -> Set[int]:
+    """Locals read when *evaluating* a place (base + index locals)."""
+    reads = {place.local}
+    for proj in place.projection:
+        if proj.kind == "index" and proj.index_local is not None:
+            reads.add(proj.index_local)
+    return reads
+
+
+def operand_reads(operand: Operand) -> Set[int]:
+    if operand.place is None:
+        return set()
+    return place_reads(operand.place)
+
+
+def rvalue_reads(rvalue: Rvalue) -> Set[int]:
+    reads: Set[int] = set()
+    for op in rvalue.operands:
+        reads |= operand_reads(op)
+    if rvalue.place is not None:
+        reads |= place_reads(rvalue.place)
+    return reads
+
+
+def statement_uses_defs(stmt: Statement) -> tuple:
+    """``(uses, defs)`` locals of one statement."""
+    uses: Set[int] = set()
+    defs: Set[int] = set()
+    if stmt.kind is StatementKind.ASSIGN:
+        uses |= rvalue_reads(stmt.rvalue)
+        if stmt.place.is_local:
+            defs.add(stmt.place.local)
+        else:
+            # Writing through a projection also *reads* the base.
+            uses |= place_reads(stmt.place)
+    elif stmt.kind is StatementKind.DROP:
+        uses |= place_reads(stmt.place)
+    elif stmt.kind is StatementKind.STORAGE_DEAD:
+        defs.add(stmt.local)
+    elif stmt.kind is StatementKind.STORAGE_LIVE:
+        defs.add(stmt.local)
+    return uses, defs
+
+
+def terminator_uses_defs(term: Terminator) -> tuple:
+    uses: Set[int] = set()
+    defs: Set[int] = set()
+    if term.kind is TerminatorKind.SWITCH_INT and term.discr is not None:
+        uses |= operand_reads(term.discr)
+    elif term.kind is TerminatorKind.CALL:
+        for arg in term.args:
+            uses |= operand_reads(arg)
+        if term.destination is not None:
+            if term.destination.is_local:
+                defs.add(term.destination.local)
+            else:
+                uses |= place_reads(term.destination)
+    elif term.kind is TerminatorKind.ASSERT and term.cond is not None:
+        uses |= operand_reads(term.cond)
+    elif term.kind is TerminatorKind.RETURN:
+        uses.add(0)
+    return uses, defs
+
+
+class LivenessAnalysis(DataflowAnalysis):
+    FORWARD = False
+    JOIN_UNION = True
+
+    def transfer_statement(self, state, stmt, block, index):
+        uses, defs = statement_uses_defs(stmt)
+        return frozenset((set(state) - defs) | uses)
+
+    def transfer_terminator(self, state, term, block):
+        uses, defs = terminator_uses_defs(term)
+        return frozenset((set(state) - defs) | uses)
+
+
+def compute_liveness(body: Body) -> Dict[int, FrozenSet[int]]:
+    """Block-exit liveness for each block of ``body``."""
+    analysis = LivenessAnalysis(body)
+    return solve(analysis)
+
+
+def live_at_statement(body: Body,
+                      exit_states: Dict[int, FrozenSet[int]],
+                      block_index: int) -> list:
+    """Liveness *before* each statement of a block, computed by replaying
+    the block backwards from its exit state; the last element is the
+    liveness before the terminator."""
+    analysis = LivenessAnalysis(body)
+    block = body.blocks[block_index]
+    state = exit_states.get(block_index, frozenset())
+    states_rev = []
+    if block.terminator is not None:
+        states_rev.append(state)
+        state = analysis.transfer_terminator(state, block.terminator,
+                                             block_index)
+    for i in range(len(block.statements) - 1, -1, -1):
+        states_rev.append(state)
+        state = analysis.transfer_statement(state, block.statements[i],
+                                            block_index, i)
+    states_rev.reverse()
+    return states_rev

@@ -1,0 +1,235 @@
+"""Flow-insensitive, field-insensitive Andersen-style points-to analysis.
+
+The paper's UAF detector "conduct[s] a 'points-to' analysis [that]
+maintain[s] which variable [each pointer/reference] points to/references"
+(§7.1).  This module is that analysis, over one MIR body.
+
+Points-to targets:
+
+* ``("local", l)`` — the storage of local ``l`` (refs created by ``&x``,
+  ``&mut x``, ``&raw``-style casts, ``as_ptr()`` on a container local);
+* ``("heap", site)`` — an allocation made at call-site id ``site``
+  (``Box::new``, ``alloc``, ``Vec::new`` …);
+* ``("static", name)`` — a global;
+* ``("unknown",)`` — escape hatch for FFI / unresolved sources.
+
+The solver is a straightforward transitive-closure iteration; bodies are
+small, precision needs are modest (the detectors re-filter by type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.hir.builtins import BuiltinOp, FuncKind
+from repro.mir.nodes import (
+    Body, Operand, Place, RvalueKind, StatementKind, TerminatorKind,
+)
+
+Target = Tuple
+UNKNOWN_TARGET: Target = ("unknown",)
+NULL_TARGET: Target = ("null",)
+
+# Builtin calls whose result aliases the receiver's pointees.
+_POINTER_TRANSFER_OPS = {
+    BuiltinOp.PTR_OFFSET, BuiltinOp.PTR_ADD, BuiltinOp.CLONE,
+}
+
+# Builtin calls that return a pointer *into* the receiver object.
+_INTO_RECEIVER_OPS = {
+    BuiltinOp.VEC_AS_PTR, BuiltinOp.VEC_AS_MUT_PTR,
+    BuiltinOp.VEC_GET_UNCHECKED, BuiltinOp.VEC_GET_UNCHECKED_MUT,
+    BuiltinOp.VEC_GET, BuiltinOp.VEC_GET_MUT, BuiltinOp.FIRST,
+    BuiltinOp.LAST, BuiltinOp.UNSAFECELL_GET, BuiltinOp.AS_REF,
+    BuiltinOp.AS_MUT,
+}
+
+# Builtin calls that allocate.
+_ALLOC_OPS = {
+    BuiltinOp.BOX_NEW, BuiltinOp.RC_NEW, BuiltinOp.ARC_NEW,
+    BuiltinOp.VEC_NEW, BuiltinOp.VEC_WITH_CAPACITY, BuiltinOp.VEC_MACRO,
+    BuiltinOp.ALLOC, BuiltinOp.STRING_NEW, BuiltinOp.HASHMAP_NEW,
+    BuiltinOp.GETMNTENT, BuiltinOp.VEC_FROM_RAW_PARTS,
+}
+
+
+@dataclass
+class PointsTo:
+    """Result: ``points_to[local]`` is a set of targets."""
+
+    body: Body
+    points_to: Dict[int, Set[Target]] = field(default_factory=dict)
+
+    def targets(self, local: int) -> Set[Target]:
+        return self.points_to.get(local, set())
+
+    def local_targets(self, local: int) -> Set[int]:
+        """Just the ``("local", l)`` targets, as local indices."""
+        return {t[1] for t in self.targets(local) if t[0] == "local"}
+
+    def may_point_to_local(self, pointer: int, target_local: int) -> bool:
+        return ("local", target_local) in self.targets(pointer)
+
+    def may_alias(self, a: int, b: int) -> bool:
+        ta, tb = self.targets(a), self.targets(b)
+        return bool(ta & tb)
+
+
+def compute_points_to(body: Body,
+                      return_summaries: Optional[Dict[str, Set[int]]] = None
+                      ) -> PointsTo:
+    """Compute points-to facts for one body.
+
+    ``return_summaries`` optionally maps user-function keys to the set of
+    argument positions their return value may point into — the light
+    inter-procedural summary that lets ``p = b.as_ptr()`` alias ``b``
+    across a call boundary (needed for the paper's Figure 7 bug).
+    """
+    result = PointsTo(body)
+    pt = result.points_to
+
+    def ensure(local: int) -> Set[Target]:
+        return pt.setdefault(local, set())
+
+    # Constraint lists.
+    copies: Set[Tuple[int, int]] = set()     # dst ⊇ src
+    loads: Set[Tuple[int, int]] = set()      # dst ⊇ *src
+    stores: Set[Tuple[int, int]] = set()     # *dst ⊇ src
+
+    def operand_local(op: Operand) -> Optional[int]:
+        if op.place is not None:
+            return op.place.local
+        return None
+
+    for bb, idx, stmt in body.iter_statements():
+        if stmt.kind is not StatementKind.ASSIGN or stmt.rvalue is None:
+            continue
+        dest = stmt.place
+        rv = stmt.rvalue
+        if dest.has_deref:
+            # *p = src : store constraint
+            if rv.kind is RvalueKind.USE:
+                src = operand_local(rv.operands[0])
+                if src is not None:
+                    stores.add((dest.local, src))
+            continue
+        dst = dest.local
+        if rv.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF):
+            ensure(dst).add(("local", rv.place.local))
+            base_name = body.locals[rv.place.local].name or ""
+            if base_name.startswith("static:"):
+                ensure(dst).add(("static", base_name[7:]))
+        elif rv.kind is RvalueKind.USE:
+            op = rv.operands[0]
+            src = operand_local(op)
+            if src is not None:
+                if op.place.has_deref:
+                    loads.add((dst, src))
+                else:
+                    copies.add((dst, src))
+        elif rv.kind is RvalueKind.CAST:
+            src = operand_local(rv.operands[0])
+            if src is not None:
+                copies.add((dst, src))
+        elif rv.kind is RvalueKind.AGGREGATE:
+            # Field-insensitive: aggregate inherits pointees of components.
+            for op in rv.operands:
+                src = operand_local(op)
+                if src is not None:
+                    copies.add((dst, src))
+
+    site_counter = 0
+    for bb, term in body.iter_terminators():
+        if term.kind is not TerminatorKind.CALL:
+            continue
+        site_counter += 1
+        if term.destination is None or not term.destination.is_local:
+            continue
+        dst = term.destination.local
+        func = term.func
+        if func is None:
+            continue
+        op = func.builtin_op
+        if op in (BuiltinOp.PTR_NULL, BuiltinOp.PTR_NULL_MUT):
+            ensure(dst).add(NULL_TARGET)
+        elif op in _ALLOC_OPS:
+            ensure(dst).add(("heap", f"{body.key}:{bb}"))
+        elif op in _INTO_RECEIVER_OPS and term.args:
+            # Receiver is a ref temp → one deref gives the container local.
+            recv = operand_local(term.args[0])
+            if recv is not None:
+                loads.add((dst, recv))
+        elif op in _POINTER_TRANSFER_OPS and term.args:
+            recv = operand_local(term.args[0])
+            if recv is not None:
+                loads.add((dst, recv))
+        elif op in (BuiltinOp.UNWRAP, BuiltinOp.EXPECT, BuiltinOp.PTR_READ,
+                    BuiltinOp.MEM_REPLACE, BuiltinOp.TAKE) and term.args:
+            recv = operand_local(term.args[0])
+            if recv is not None:
+                loads.add((dst, recv))
+                copies.add((dst, recv))
+        elif func.kind is FuncKind.USER and return_summaries:
+            items = return_summaries.get(func.user_fn, set())
+            for item in items:
+                if item == "null":
+                    ensure(dst).add(NULL_TARGET)
+                elif isinstance(item, int) and item < len(term.args):
+                    src = operand_local(term.args[item])
+                    if src is not None:
+                        copies.add((dst, src))
+        elif func.kind is FuncKind.UNKNOWN:
+            ensure(dst).add(UNKNOWN_TARGET)
+
+    # Fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for dst, src in copies:
+            before = len(ensure(dst))
+            ensure(dst).update(ensure(src))
+            if len(pt[dst]) != before:
+                changed = True
+        for dst, src in loads:
+            before = len(ensure(dst))
+            for target in list(ensure(src)):
+                if target[0] == "local":
+                    ensure(dst).update(ensure(target[1]))
+                elif target[0] in ("heap", "static", "unknown", "null"):
+                    ensure(dst).add(target)
+            if len(pt[dst]) != before:
+                changed = True
+        for dst, src in stores:
+            for target in list(ensure(dst)):
+                if target[0] == "local":
+                    before = len(ensure(target[1]))
+                    ensure(target[1]).update(ensure(src))
+                    if len(pt[target[1]]) != before:
+                        changed = True
+    return result
+
+
+def compute_return_summaries(program) -> Dict[str, Set[int]]:
+    """Which argument positions can each function's return value point
+    into?  Iterated to a (bounded) fixpoint so chains like
+    ``f(x) = g(x)`` propagate."""
+    summaries: Dict[str, Set[int]] = {}
+    for _round in range(3):
+        changed = False
+        for key, body in program.functions.items():
+            pt = compute_points_to(body, summaries)
+            # The return place is local 0; look at what it may point to,
+            # including values that flowed into it.
+            items: Set = set()
+            for target in pt.targets(0):
+                if target[0] == "local" and 0 < target[1] <= body.arg_count:
+                    items.add(target[1] - 1)
+                elif target == NULL_TARGET:
+                    items.add("null")
+            if items and not items <= summaries.get(key, set()):
+                summaries[key] = set(summaries.get(key, set())) | items
+                changed = True
+        if not changed:
+            break
+    return summaries

@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+Subcommands::
+
+    minirust check FILE [--detector NAME]...   run static detectors
+    minirust run FILE [--seed N] [--races]     interpret (Miri-like)
+    minirust mir FILE [--fn NAME]              dump MIR
+    minirust scan FILE...                      §4 unsafe-usage scan
+    minirust tables [--table N|all]            regenerate study tables
+    minirust corpus [--scale N] [--seed N]     corpus + detector evaluation
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.driver import (
+    compile_file, compile_source, run_all_detectors, run_detectors,
+)
+from repro.lang.diagnostics import CompileError
+
+
+def _cmd_check(args) -> int:
+    compiled = compile_file(args.file)
+    if args.detector:
+        from repro.detectors.registry import detector_by_name
+        detectors = []
+        for name in args.detector:
+            cls = detector_by_name(name)
+            if cls is None:
+                print(f"unknown detector: {name}", file=sys.stderr)
+                return 2
+            detectors.append(cls())
+        report = run_detectors(compiled, detectors)
+    else:
+        report = run_all_detectors(compiled)
+    print(report.render())
+    if args.advice and report.findings:
+        from repro.tools.fixes import suggest_fixes
+        print("\nsuggested fixes:")
+        for line in suggest_fixes(report.findings):
+            print("  " + line)
+    return 1 if report.errors else 0
+
+
+def _cmd_run(args) -> int:
+    from repro.mir.interp import ScheduleConfig, run_program
+    compiled = compile_file(args.file)
+    config = ScheduleConfig(seed=args.seed, quantum=args.quantum)
+    result = run_program(compiled.program, entry=args.entry,
+                         schedule=config, detect_races=args.races)
+    for line in result.stdout:
+        print(line)
+    print(f"-- outcome: {result.outcome} ({result.steps} steps)")
+    if result.error is not None:
+        print(f"-- {result.error}")
+    for race in result.races:
+        print(f"-- race: {race.message}")
+    return 0 if result.ok else 1
+
+
+def _cmd_annotate(args) -> int:
+    from repro.tools.annotate import (
+        annotate_critical_sections, annotate_lifetimes,
+    )
+    compiled = compile_file(args.file)
+    if args.fn not in compiled.program.functions:
+        print(f"no function named {args.fn!r}", file=sys.stderr)
+        return 2
+    print(annotate_lifetimes(compiled, args.fn).render())
+    sections = annotate_critical_sections(compiled, args.fn)
+    if sections.critical_sections:
+        print(sections.render())
+    return 0
+
+
+def _cmd_mir(args) -> int:
+    from repro.mir.pretty import pretty_body, pretty_program
+    compiled = compile_file(args.file)
+    if args.fn:
+        body = compiled.program.body(args.fn)
+        if body is None:
+            print(f"no function named {args.fn!r}", file=sys.stderr)
+            return 2
+        print(pretty_body(body))
+    else:
+        print(pretty_program(compiled.program))
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    from repro.study.unsafe_scan import scan_sources
+    sources = []
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as f:
+            sources.append((path, f.read()))
+    result = scan_sources(sources)
+    print(f"unsafe blocks:    {result.counts.blocks}")
+    print(f"unsafe functions: {result.counts.functions}")
+    print(f"unsafe traits:    {result.counts.traits}")
+    print(f"unsafe impls:     {result.counts.impls}")
+    print("operations:")
+    for kind, count in sorted(result.operations.items(),
+                              key=lambda kv: -kv[1]):
+        print(f"  {kind.value}: {count}")
+    print(f"interior-unsafe functions: {len(result.interior_unsafe_fns)}")
+    improper = result.improperly_encapsulated
+    if improper:
+        print("improperly encapsulated:")
+        for audit in improper:
+            print(f"  {audit.fn_key}")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.study import tables as t
+    which = args.table
+    if which in ("1", "all"):
+        rows = t.table1_studied_software()
+        print(t.render_table(
+            ["Software", "Start", "Stars", "Commits", "KLOC", "Mem", "Blk",
+             "NBlk"],
+            [[r["software"], r["start"], r["stars"], r["commits"],
+              r["loc_k"], r["mem"], r["blk"], r["nblk"]] for r in rows],
+            title="Table 1. Studied Applications and Libraries."))
+        print()
+    if which in ("2", "all"):
+        rows = t.table2_memory_categories()
+        headers = ["Category"] + [e.value for e in t.TABLE2_EFFECT_ORDER] + \
+            ["Total"]
+        body = []
+        for r in rows:
+            body.append([r["category"]] +
+                        [f"{r[e.value][0]} ({r[e.value][1]})"
+                         if r[e.value][0] else "0"
+                         for e in t.TABLE2_EFFECT_ORDER] + [r["total"]])
+        print(t.render_table(headers, body,
+                             title="Table 2. Memory Bugs Category."))
+        print()
+    if which in ("3", "all"):
+        rows = t.table3_blocking_sync()
+        headers = ["Software"] + [c.value for c in t.TABLE3_COLUMNS] + \
+            ["Total"]
+        body = [[r["software"]] + [r[c.value] for c in t.TABLE3_COLUMNS] +
+                [r["total"]] for r in rows]
+        print(t.render_table(
+            headers, body,
+            title="Table 3. Types of Synchronization in Blocking Bugs."))
+        print()
+    if which in ("4", "all"):
+        rows = t.table4_data_sharing()
+        headers = ["Software"] + [c.value for c in t.TABLE4_COLUMN_ORDER] + \
+            ["Total"]
+        body = [[r["software"]] + [r[c.value] for c in t.TABLE4_COLUMN_ORDER]
+                + [r["total"]] for r in rows]
+        print(t.render_table(headers, body,
+                             title="Table 4. How Threads Communicate."))
+        print()
+    if which == "all":
+        print("Section 4:", json.dumps(t.section4_unsafe_usage(), indent=2,
+                                       default=str))
+        print("Section 5.2:", json.dumps(t.section5_fix_strategies(),
+                                         indent=2))
+        print("Section 6.1:", json.dumps(t.section6_blocking_causes(),
+                                         indent=2))
+        print("Section 6.2:", json.dumps(t.section6_nonblocking_stats(),
+                                         indent=2))
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    from repro.corpus import evaluate_detectors, generate_corpus
+    corpus = generate_corpus(seed=args.seed, scale=args.scale)
+    print(f"corpus: {len(corpus.files)} files, {corpus.total_loc} LOC, "
+          f"{len(corpus.injected)} injected bugs")
+    result = evaluate_detectors(corpus)
+    print(f"{'detector':24} {'injected':>8} {'found':>6} {'FP':>4} "
+          f"{'recall':>7}")
+    for name, injected, found, fps, recall in result.summary_rows():
+        print(f"{name:24} {injected:>8} {found:>6} {fps:>4} {recall:>7}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="minirust",
+        description="MiniRust analysis toolkit (PLDI 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="run static bug detectors")
+    p.add_argument("file")
+    p.add_argument("--detector", action="append", default=[])
+    p.add_argument("--advice", action="store_true",
+                   help="print the paper's fix strategy for each finding")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("run", help="interpret a program (Miri-like)")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quantum", type=int, default=10)
+    p.add_argument("--races", action="store_true")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("annotate", help="IDE-style lifetime and "
+                                         "critical-section annotations")
+    p.add_argument("file")
+    p.add_argument("--fn", required=True)
+    p.set_defaults(func=_cmd_annotate)
+
+    p = sub.add_parser("mir", help="dump MIR")
+    p.add_argument("file")
+    p.add_argument("--fn", default=None)
+    p.set_defaults(func=_cmd_mir)
+
+    p = sub.add_parser("scan", help="unsafe-usage scan")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser("tables", help="regenerate the study tables")
+    p.add_argument("--table", default="all", choices=["1", "2", "3", "4",
+                                                      "all"])
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("corpus", help="generate corpus and evaluate "
+                                      "detectors")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_corpus)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CompileError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        if isinstance(exc, BrokenPipeError):
+            # Output piped into a pager that closed early (e.g. `| head`).
+            try:
+                sys.stdout.close()
+            except OSError:
+                pass
+            return 0
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

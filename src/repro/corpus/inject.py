@@ -1,0 +1,337 @@
+"""Bug-injection templates.
+
+Each :class:`BugTemplate` emits a MiniRust snippet containing exactly one
+instance of a studied bug pattern, parameterised by a unique name so that
+detector findings can be matched back to injections.  The patterns mirror
+the paper's figures and bug taxonomies:
+
+=====================  =====================================  ============
+template               paper source                           detector
+=====================  =====================================  ============
+double_lock_match      Figure 8 (TiKV)                        double-lock
+double_lock_if         §6.1 "first lock is in an if"          double-lock
+double_lock_callee     §7.2 inter-procedural case             double-lock
+lock_order_pair        §6.1 conflicting orders                lock-order
+condvar_no_notify      §6.1 Condvar bugs (8/10)               condvar
+channel_no_sender      §6.1 channel bugs                      channel
+once_recursion         §6.1 Once bug                          once-recursion
+uaf_drop_deref         Figure 7 shape                         use-after-free
+uaf_escape_ffi         Figure 7 (CMS_sign)                    use-after-free
+double_free_ptr_read   §5.1 ptr::read duplication             double-free
+invalid_free_assign    Figure 6 (Redox)                       invalid-free
+uninit_read            §5.1 uninitialised reads               uninit-read
+overflow_unchecked     §5.1 17/21 buffer overflows            buffer-overflow
+atomic_check_act       Figure 9 (Ethereum)                    atomicity-violation
+sync_unsync_write      Figure 4 / Suggestion 8                sync-unsync-write
+=====================  =====================================  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.study.taxonomy import BugKind
+
+
+@dataclass(frozen=True)
+class BugTemplate:
+    name: str
+    kind: BugKind
+    detector: str           # detector expected to report it
+    render: Callable[[str], str] = None
+    #: Whether the template provides a runnable entry for dynamic checking.
+    dynamic_entry: bool = False
+
+
+@dataclass
+class InjectedBug:
+    template: BugTemplate
+    fn_name: str
+    file_name: str
+    project: str
+
+
+# ---------------------------------------------------------------------------
+# Template bodies.  Every template takes a unique suffix `u`.
+# ---------------------------------------------------------------------------
+
+def _double_lock_match(u: str) -> str:
+    return f"""
+struct Inner{u} {{ m: i32 }}
+fn connect{u}(m: i32) -> Result<i32, i32> {{ Ok(m) }}
+fn bug_{u}(client: &RwLock<Inner{u}>) {{
+    match connect{u}(client.read().unwrap().m) {{
+        Ok(x) => {{
+            let mut inner = client.write().unwrap();
+            inner.m = x;
+        }}
+        Err(e) => {{}}
+    }};
+}}
+"""
+
+
+def _double_lock_if(u: str) -> str:
+    # Plain `if` conditions drop their temporaries before the block runs
+    # (so `if *m.lock().unwrap() > 0` is NOT a double lock in stable Rust);
+    # the paper's if-shaped double locks are the `if let` form, whose
+    # scrutinee temporaries live to the end of the whole expression.
+    return f"""
+fn bug_{u}(counter: &Mutex<i32>) {{
+    if let Ok(g) = counter.lock() {{
+        let mut g2 = counter.lock().unwrap();
+        *g2 = *g + 1;
+    }}
+}}
+"""
+
+
+def _double_lock_callee(u: str) -> str:
+    return f"""
+fn helper_{u}(m: &Mutex<i32>) -> i32 {{
+    let g = m.lock().unwrap();
+    *g
+}}
+fn bug_{u}(m: &Mutex<i32>) {{
+    let g = m.lock().unwrap();
+    let v = helper_{u}(m);
+    print(v + *g);
+}}
+"""
+
+
+def _lock_order_pair(u: str) -> str:
+    return f"""
+static LOCK_A_{u}: Mutex<i32> = Mutex::new(0);
+static LOCK_B_{u}: Mutex<i32> = Mutex::new(0);
+fn bug_{u}_first() {{
+    let a = LOCK_A_{u}.lock().unwrap();
+    let b = LOCK_B_{u}.lock().unwrap();
+    print(*a + *b);
+}}
+fn bug_{u}_second() {{
+    let b = LOCK_B_{u}.lock().unwrap();
+    let a = LOCK_A_{u}.lock().unwrap();
+    print(*a + *b);
+}}
+"""
+
+
+def _condvar_no_notify(u: str) -> str:
+    return f"""
+fn bug_{u}() {{
+    let state = Mutex::new(false);
+    let cv = Condvar::new();
+    let g = state.lock().unwrap();
+    let g2 = cv.wait(g).unwrap();
+    print(*g2);
+}}
+"""
+
+
+def _channel_no_sender(u: str) -> str:
+    return f"""
+fn bug_{u}() {{
+    let (tx, rx) = channel();
+    drop(tx);
+    let value = rx.recv();
+    match value {{
+        Ok(v) => print(v),
+        Err(e) => print(0),
+    }};
+}}
+"""
+
+
+def _once_recursion(u: str) -> str:
+    return f"""
+static INIT_{u}: Once = Once::new();
+fn bug_{u}() {{
+    INIT_{u}.call_once(|| {{
+        INIT_{u}.call_once(|| {{
+            print(1);
+        }});
+    }});
+}}
+"""
+
+
+def _uaf_drop_deref(u: str) -> str:
+    return f"""
+fn bug_{u}() {{
+    let buffer = vec![1, 2, 3];
+    let p = buffer.as_ptr();
+    drop(buffer);
+    unsafe {{
+        let x = *p;
+        print(x);
+    }}
+}}
+"""
+
+
+def _uaf_escape_ffi(u: str) -> str:
+    return f"""
+struct Slice{u} {{ v: i32 }}
+impl Slice{u} {{
+    fn new(data: i32) -> Slice{u} {{ Slice{u} {{ v: data }} }}
+    fn as_ptr(&self) -> *const Slice{u} {{
+        &self.v as *const i32 as *const Slice{u}
+    }}
+}}
+fn bug_{u}(data: Option<i32>) {{
+    let p = match data {{
+        Some(d) => Slice{u}::new(d).as_ptr(),
+        None => ptr::null_mut(),
+    }};
+    unsafe {{
+        let out = ffi_sign_{u}(p);
+    }}
+}}
+"""
+
+
+def _double_free_ptr_read(u: str) -> str:
+    return f"""
+fn bug_{u}(v: Vec<i32>) {{
+    let t1 = v;
+    unsafe {{
+        let t2 = ptr::read(&t1);
+        drop(t2);
+    }}
+}}
+"""
+
+
+def _invalid_free_assign(u: str) -> str:
+    return f"""
+struct File{u} {{ buf: Vec<u8> }}
+unsafe fn bug_{u}() {{
+    let f = alloc(64) as *mut File{u};
+    *f = File{u} {{ buf: vec![0u8; 64] }};
+}}
+"""
+
+
+def _uninit_read(u: str) -> str:
+    return f"""
+unsafe fn bug_{u}() -> i32 {{
+    let p = alloc(16) as *mut i32;
+    let value = *p;
+    value
+}}
+"""
+
+
+def _overflow_unchecked(u: str) -> str:
+    return f"""
+fn bug_{u}() -> u8 {{
+    let table = vec![0u8; 16];
+    unsafe {{
+        let x = table.get_unchecked(20);
+        *x
+    }}
+}}
+"""
+
+
+def _atomic_check_act(u: str) -> str:
+    return f"""
+struct Seal{u} {{ proposed: AtomicBool }}
+unsafe impl Sync for Seal{u} {{}}
+impl Seal{u} {{
+    fn bug_{u}(&self) -> i32 {{
+        if self.proposed.load() {{ return 0; }}
+        self.proposed.store(true);
+        return 1;
+    }}
+}}
+"""
+
+
+def _sync_unsync_write(u: str) -> str:
+    return f"""
+struct Cell{u} {{ value: i32 }}
+unsafe impl Sync for Cell{u} {{}}
+impl Cell{u} {{
+    fn bug_{u}(&self, i: i32) {{
+        let p = &self.value as *const i32 as *mut i32;
+        unsafe {{ *p = i; }}
+    }}
+}}
+"""
+
+
+def _null_deref(u: str) -> str:
+    return f"""
+fn lookup_{u}(found: bool) -> *mut i32 {{
+    ptr::null_mut()
+}}
+fn bug_{u}() {{
+    let entry = lookup_{u}(false);
+    unsafe {{ *entry = 1; }}
+}}
+"""
+
+
+def _recv_holding_lock(u: str) -> str:
+    return f"""
+static STATE_{u}: Mutex<i32> = Mutex::new(0);
+fn consumer_{u}(rx: &Receiver<i32>) {{
+    let g = STATE_{u}.lock().unwrap();
+    let v = rx.recv().unwrap();
+    print(*g + v);
+}}
+fn producer_{u}(tx: &Sender<i32>) {{
+    let g = STATE_{u}.lock().unwrap();
+    tx.send(*g);
+}}
+"""
+
+
+BUG_TEMPLATES: Dict[str, BugTemplate] = {
+    "double_lock_match": BugTemplate("double_lock_match", BugKind.BLOCKING,
+                                     "double-lock", _double_lock_match),
+    "double_lock_if": BugTemplate("double_lock_if", BugKind.BLOCKING,
+                                  "double-lock", _double_lock_if),
+    "double_lock_callee": BugTemplate("double_lock_callee", BugKind.BLOCKING,
+                                      "double-lock", _double_lock_callee),
+    "lock_order_pair": BugTemplate("lock_order_pair", BugKind.BLOCKING,
+                                   "lock-order", _lock_order_pair),
+    "condvar_no_notify": BugTemplate("condvar_no_notify", BugKind.BLOCKING,
+                                     "condvar", _condvar_no_notify),
+    "channel_no_sender": BugTemplate("channel_no_sender", BugKind.BLOCKING,
+                                     "channel", _channel_no_sender),
+    "once_recursion": BugTemplate("once_recursion", BugKind.BLOCKING,
+                                  "once-recursion", _once_recursion),
+    "recv_holding_lock": BugTemplate("recv_holding_lock", BugKind.BLOCKING,
+                                     "channel", _recv_holding_lock),
+    "uaf_drop_deref": BugTemplate("uaf_drop_deref", BugKind.MEMORY,
+                                  "use-after-free", _uaf_drop_deref),
+    "uaf_escape_ffi": BugTemplate("uaf_escape_ffi", BugKind.MEMORY,
+                                  "use-after-free", _uaf_escape_ffi),
+    "double_free_ptr_read": BugTemplate("double_free_ptr_read",
+                                        BugKind.MEMORY, "double-free",
+                                        _double_free_ptr_read),
+    "invalid_free_assign": BugTemplate("invalid_free_assign", BugKind.MEMORY,
+                                       "invalid-free", _invalid_free_assign),
+    "uninit_read": BugTemplate("uninit_read", BugKind.MEMORY, "uninit-read",
+                               _uninit_read),
+    "null_deref": BugTemplate("null_deref", BugKind.MEMORY, "null-deref",
+                              _null_deref),
+    "overflow_unchecked": BugTemplate("overflow_unchecked", BugKind.MEMORY,
+                                      "buffer-overflow", _overflow_unchecked),
+    "atomic_check_act": BugTemplate("atomic_check_act", BugKind.NON_BLOCKING,
+                                    "atomicity-violation", _atomic_check_act),
+    "sync_unsync_write": BugTemplate("sync_unsync_write",
+                                     BugKind.NON_BLOCKING,
+                                     "sync-unsync-write", _sync_unsync_write),
+}
+
+MEMORY_TEMPLATES = [t for t in BUG_TEMPLATES.values()
+                    if t.kind is BugKind.MEMORY]
+BLOCKING_TEMPLATES = [t for t in BUG_TEMPLATES.values()
+                      if t.kind is BugKind.BLOCKING]
+NONBLOCKING_TEMPLATES = [t for t in BUG_TEMPLATES.values()
+                         if t.kind is BugKind.NON_BLOCKING]

@@ -1,0 +1,20 @@
+"""Static bug detectors over MIR.
+
+The first two (:class:`~repro.detectors.use_after_free.UseAfterFreeDetector`
+and :class:`~repro.detectors.double_lock.DoubleLockDetector`) reproduce the
+paper's own §7 detectors; the remainder implement the detector directions
+the paper proposes in §7.1/§7.2.
+"""
+
+from repro.detectors.base import AnalysisContext, Detector
+from repro.detectors.registry import (
+    ALL_DETECTORS, CONCURRENCY_DETECTORS, MEMORY_DETECTORS,
+    detector_by_name, run_detectors,
+)
+from repro.detectors.report import Finding, Report, Severity
+
+__all__ = [
+    "AnalysisContext", "Detector", "ALL_DETECTORS", "MEMORY_DETECTORS",
+    "CONCURRENCY_DETECTORS", "detector_by_name", "run_detectors",
+    "Finding", "Report", "Severity",
+]

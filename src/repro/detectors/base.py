@@ -1,0 +1,93 @@
+"""Detector framework: shared analysis context and the Detector protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.init import compute_init
+from repro.analysis.lifetime import (
+    GuardRegion, StorageRanges, compute_guard_regions, compute_storage_ranges,
+)
+from repro.analysis.points_to import (
+    PointsTo, compute_points_to, compute_return_summaries,
+)
+from repro.detectors.report import Finding
+from repro.mir.nodes import Body, Program
+
+
+class AnalysisContext:
+    """Caches per-body and per-program analyses so detectors share work."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._points_to: Dict[str, PointsTo] = {}
+        self._guard_regions: Dict[str, List[GuardRegion]] = {}
+        self._storage_ranges: Dict[str, StorageRanges] = {}
+        self._init_states: Dict[str, dict] = {}
+        self._call_graph: Optional[CallGraph] = None
+        self._return_summaries: Optional[Dict[str, set]] = None
+
+    @property
+    def return_summaries(self) -> Dict[str, set]:
+        if self._return_summaries is None:
+            self._return_summaries = compute_return_summaries(self.program)
+        return self._return_summaries
+
+    def points_to(self, body: Body) -> PointsTo:
+        if body.key not in self._points_to:
+            self._points_to[body.key] = compute_points_to(
+                body, self.return_summaries)
+        return self._points_to[body.key]
+
+    def guard_regions(self, body: Body,
+                      include_try: bool = False) -> List[GuardRegion]:
+        cache_key = body.key + ("#try" if include_try else "")
+        if cache_key not in self._guard_regions:
+            self._guard_regions[cache_key] = compute_guard_regions(
+                body, self.points_to(body), include_try=include_try)
+        return self._guard_regions[cache_key]
+
+    def storage_ranges(self, body: Body) -> StorageRanges:
+        if body.key not in self._storage_ranges:
+            self._storage_ranges[body.key] = compute_storage_ranges(body)
+        return self._storage_ranges[body.key]
+
+    def init_states(self, body: Body) -> dict:
+        if body.key not in self._init_states:
+            self._init_states[body.key] = compute_init(body)
+        return self._init_states[body.key]
+
+    @property
+    def call_graph(self) -> CallGraph:
+        if self._call_graph is None:
+            self._call_graph = build_call_graph(self.program)
+        return self._call_graph
+
+
+class Detector:
+    """Base class for all detectors.
+
+    Subclasses set ``name`` / ``description`` and implement either
+    :meth:`check_body` (called per function) or :meth:`check_program`
+    (called once), or both.
+    """
+
+    name = "detector"
+    description = ""
+    #: Which paper section motivated this detector.
+    paper_section = ""
+
+    def run(self, ctx: AnalysisContext) -> List[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self.check_program(ctx))
+        for body in ctx.program.bodies():
+            findings.extend(self.check_body(ctx, body))
+        return findings
+
+    def check_program(self, ctx: AnalysisContext) -> List[Finding]:
+        return []
+
+    def check_body(self, ctx: AnalysisContext, body: Body) -> List[Finding]:
+        return []

@@ -1,0 +1,148 @@
+"""Double-lock detector (the paper's second detector, §7.2).
+
+Construction follows the paper: "It first identifies all call sites of
+lock() and extracts [...] the lock being acquired and the variable being
+used to save the return value.  As Rust implicitly releases the lock when
+the lifetime of this variable ends, our tool will record this release
+time.  We then check whether or not the same lock is acquired before this
+time [...].  Our check covers the case where two lock acquisitions are in
+different functions by performing inter-procedural analysis."
+
+The guard region (acquisition → implicit/explicit release) comes from
+:func:`repro.analysis.lifetime.compute_guard_regions`; re-acquisition is
+checked both intra-procedurally (another acquisition terminator inside the
+region whose lock identity may-aliases) and inter-procedurally (a call
+inside the region to a function whose lock summary includes the same
+lock).  ``try_lock`` variants never block, so they are excluded, and two
+``read()`` acquisitions of an ``RwLock`` are allowed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.lifetime import (
+    LOCK_ACQUIRE_OPS, GuardRegion, lock_identity, resolve_ref_chain,
+)
+from repro.detectors.base import AnalysisContext, Detector
+from repro.detectors.report import Finding, Severity
+from repro.hir.builtins import BuiltinOp, FuncKind
+from repro.mir.nodes import Body, TerminatorKind
+
+
+def _kinds_conflict(first: str, second: str) -> bool:
+    """Would acquiring ``second`` while holding ``first`` (same lock, same
+    thread) block forever / panic?"""
+    if first in ("read", "borrow") and second in ("read", "borrow"):
+        return False
+    return True
+
+
+class DoubleLockDetector(Detector):
+    name = "double-lock"
+    description = ("Re-acquisition of a lock while its guard is still "
+                   "alive (Rust's implicit unlock has not run yet)")
+    paper_section = "7.2"
+
+    def __init__(self, interprocedural: bool = True) -> None:
+        self.interprocedural = interprocedural
+
+    def check_body(self, ctx: AnalysisContext, body: Body) -> List[Finding]:
+        findings: List[Finding] = []
+        pt = ctx.points_to(body)
+        regions = ctx.guard_regions(body)
+        graph = ctx.call_graph if self.interprocedural else None
+
+        for region in regions:
+            if region.is_try:
+                continue
+            # Intra-procedural: another acquisition inside the region.
+            for bb, term in body.iter_terminators():
+                if term.kind is not TerminatorKind.CALL or term.func is None:
+                    continue
+                second_kind = LOCK_ACQUIRE_OPS.get(term.func.builtin_op)
+                if second_kind is None:
+                    continue
+                point = (bb, len(body.blocks[bb].statements))
+                if bb == region.acquire_block or not region.covers(point):
+                    continue
+                if not term.args or term.args[0].place is None:
+                    continue
+                second_ids = lock_identity(body, pt,
+                                           term.args[0].place.local)
+                if not (second_ids & region.lock_ids):
+                    continue
+                if not _kinds_conflict(region.kind, second_kind):
+                    continue
+                findings.append(Finding(
+                    detector=self.name, kind="double-lock",
+                    message=(f"lock acquired by `{term.func.name}` while the "
+                             f"guard from `{region.op.value}` (same lock) is "
+                             f"still held — the implicit unlock has not run; "
+                             f"this self-deadlocks"),
+                    fn_key=body.key, span=term.span,
+                    metadata={"first": region.kind, "second": second_kind,
+                              "acquire_block": region.acquire_block,
+                              "reacquire_block": bb,
+                              "interprocedural": False}))
+            # Inter-procedural: a call inside the region to a function that
+            # (transitively) locks the same lock.
+            if graph is None:
+                continue
+            findings.extend(self._check_calls_in_region(
+                ctx, body, pt, region, graph))
+        return findings
+
+    def _check_calls_in_region(self, ctx, body: Body, pt,
+                               region: GuardRegion, graph) -> List[Finding]:
+        findings: List[Finding] = []
+        for bb, term in body.iter_terminators():
+            if term.kind is not TerminatorKind.CALL or term.func is None:
+                continue
+            if term.func.kind not in (FuncKind.USER, FuncKind.CLOSURE):
+                continue
+            point = (bb, len(body.blocks[bb].statements))
+            if not region.covers(point):
+                continue
+            callee = term.func.user_fn
+            summary = graph.lock_summaries.get(callee, set())
+            if not summary:
+                continue
+            for lock in summary:
+                id_kind, payload, proj, lock_kind = lock
+                if not _kinds_conflict(region.kind, lock_kind):
+                    continue
+                caller_ids = self._caller_ids_for(body, pt, term, lock)
+                if caller_ids & region.lock_ids:
+                    findings.append(Finding(
+                        detector=self.name, kind="double-lock",
+                        message=(f"call to `{callee}` while the guard from "
+                                 f"`{region.op.value}` is held — the callee "
+                                 f"acquires the same lock "
+                                 f"({lock_kind}); this self-deadlocks"),
+                        fn_key=body.key, span=term.span,
+                        metadata={"first": region.kind,
+                                  "second": lock_kind,
+                                  "callee": callee,
+                                  "interprocedural": True}))
+                    break
+        return findings
+
+    def _caller_ids_for(self, body: Body, pt, term, lock) -> FrozenSet:
+        """Translate a callee lock id into caller lock-identity space."""
+        id_kind, payload, proj, _lock_kind = lock
+        if id_kind == "static":
+            return frozenset({("static", payload, proj)})
+        if id_kind == "arg":
+            index = payload
+            if index >= len(term.args) or term.args[index].place is None:
+                return frozenset()
+            arg_local = term.args[index].place.local
+            base_ids = lock_identity(body, pt, arg_local)
+            if not proj:
+                return base_ids
+            out = set()
+            for ident in base_ids:
+                out.add((ident[0], ident[1], tuple(ident[2]) + tuple(proj)))
+            return frozenset(out)
+        return frozenset()

@@ -1,0 +1,93 @@
+"""Conflicting-lock-order (ABBA deadlock) detector.
+
+The paper attributes seven of its blocking bugs to "acquiring locks in
+conflicting orders" (§6.1).  We build a lock-order graph: an edge
+``L1 → L2`` is recorded whenever ``L2`` is acquired inside the guard
+region of ``L1`` (intra-procedurally, or via a call to a function whose
+summary locks ``L2``).  A cycle among globally identifiable locks
+(statics, heap allocation sites) is a potential ABBA deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+from repro.analysis.lifetime import LOCK_ACQUIRE_OPS, lock_identity
+from repro.detectors.base import AnalysisContext, Detector
+from repro.detectors.report import Finding, Severity
+from repro.lang.source import Span
+from repro.mir.nodes import Body, TerminatorKind
+
+
+def _global_ids(ids: FrozenSet) -> Set[Tuple]:
+    """Keep only program-wide lock identities (statics / heap sites /
+    argument positions do not qualify; args are caller-relative)."""
+    return {i for i in ids if i[0] in ("static", "heap")}
+
+
+class LockOrderDetector(Detector):
+    name = "lock-order"
+    description = ("Cycles in the lock-acquisition-order graph "
+                   "(potential ABBA deadlocks between threads)")
+    paper_section = "6.1"
+
+    def check_program(self, ctx: AnalysisContext) -> List[Finding]:
+        graph = nx.DiGraph()
+        edge_spans: Dict[Tuple, Tuple[str, Span]] = {}
+
+        for body in ctx.program.bodies():
+            pt = ctx.points_to(body)
+            regions = ctx.guard_regions(body)
+            for region in regions:
+                firsts = _global_ids(region.lock_ids)
+                if not firsts:
+                    continue
+                for bb, term in body.iter_terminators():
+                    if term.kind is not TerminatorKind.CALL or term.func is None:
+                        continue
+                    if LOCK_ACQUIRE_OPS.get(term.func.builtin_op) is None:
+                        continue
+                    point = (bb, len(body.blocks[bb].statements))
+                    if bb == region.acquire_block or not region.covers(point):
+                        continue
+                    if not term.args or term.args[0].place is None:
+                        continue
+                    second_ids = _global_ids(lock_identity(
+                        body, pt, term.args[0].place.local))
+                    for first in firsts:
+                        for second in second_ids:
+                            if first == second:
+                                continue
+                            graph.add_edge(first, second)
+                            edge_spans[(first, second)] = (body.key, term.span)
+
+        findings: List[Finding] = []
+        seen_cycles = set()
+        for cycle in nx.simple_cycles(graph):
+            key = frozenset(cycle)
+            if key in seen_cycles or len(cycle) < 2:
+                continue
+            seen_cycles.add(key)
+            first, second = cycle[0], cycle[1]
+            fn_key, span = edge_spans.get((first, second),
+                                          ("<program>", Span.DUMMY))
+            pretty = " -> ".join(self._pretty(lock) for lock in cycle)
+            findings.append(Finding(
+                detector=self.name, kind="conflicting-lock-order",
+                message=(f"locks are acquired in conflicting orders: "
+                         f"{pretty} -> {self._pretty(cycle[0])}; two threads "
+                         f"interleaving these acquisitions deadlock"),
+                fn_key=fn_key, span=span, severity=Severity.WARNING,
+                metadata={"cycle": [str(c) for c in cycle]}))
+        return findings
+
+    @staticmethod
+    def _pretty(lock: Tuple) -> str:
+        kind, payload = lock[0], lock[1]
+        proj = lock[2] if len(lock) > 2 else ()
+        suffix = ("." + ".".join(proj)) if proj else ""
+        if kind == "static":
+            return f"static `{payload}`{suffix}"
+        return f"lock@{payload}{suffix}"

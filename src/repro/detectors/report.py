@@ -1,0 +1,95 @@
+"""Findings and reports produced by the bug detectors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lang.source import SourceFile, Span
+
+
+class Severity(enum.Enum):
+    ERROR = "error"        # definite bug pattern
+    WARNING = "warning"    # likely bug, may be a false positive
+    NOTE = "note"          # informational (e.g. risky-but-common pattern)
+
+
+@dataclass
+class Finding:
+    """One detector hit."""
+
+    detector: str              # e.g. "use-after-free"
+    kind: str                  # short machine-readable bug class
+    message: str
+    fn_key: str
+    span: Span = Span.DUMMY
+    severity: Severity = Severity.ERROR
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def render(self, source: Optional[SourceFile] = None) -> str:
+        loc = ""
+        if source is not None and not self.span.is_dummy:
+            line, col = source.line_col(self.span.lo)
+            loc = f" at {source.name}:{line}:{col}"
+        return (f"[{self.detector}] {self.severity.value}: {self.message} "
+                f"(in `{self.fn_key}`{loc})")
+
+    def dedup_key(self) -> tuple:
+        return (self.detector, self.kind, self.fn_key, self.span.lo,
+                self.span.hi)
+
+
+@dataclass
+class Report:
+    """All findings for one program, with convenience accessors."""
+
+    findings: List[Finding] = field(default_factory=list)
+    source: Optional[SourceFile] = None
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: List[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def dedup(self) -> "Report":
+        seen = set()
+        unique: List[Finding] = []
+        for finding in self.findings:
+            key = finding.dedup_key()
+            if key not in seen:
+                seen.add(key)
+                unique.append(finding)
+        return Report(findings=unique, source=self.source)
+
+    def by_detector(self, detector: str) -> List[Finding]:
+        return [f for f in self.findings if f.detector == detector]
+
+    def by_kind(self, kind: str) -> List[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.detector] = out.get(finding.detector, 0) + 1
+        return out
+
+    def render(self) -> str:
+        if not self.findings:
+            return "no findings"
+        return "\n".join(f.render(self.source) for f in self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)

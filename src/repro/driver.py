@@ -1,0 +1,78 @@
+"""End-to-end driver: source text → MIR program → detector report.
+
+This is the public front door of the library::
+
+    from repro import compile_source, run_all_detectors
+    program = compile_source(text)
+    report = run_all_detectors(program)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.detectors.registry import run_detectors as _run
+from repro.detectors.report import Report
+from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.parser import Parser
+from repro.lang.source import SourceFile
+from repro.mir.build import ProgramBuilder
+from repro.hir.table import build_item_table
+from repro.mir.nodes import Program
+
+
+@dataclass
+class CompiledProgram:
+    """A fully lowered compilation unit plus its front-end artefacts."""
+
+    source: SourceFile
+    crate: object
+    program: Program
+    diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
+
+    @property
+    def functions(self):
+        return self.program.functions
+
+    @property
+    def item_table(self):
+        return self.program.item_table
+
+
+def compile_source(text: str, name: str = "<input>",
+                   emit_bounds_checks: bool = True) -> CompiledProgram:
+    """Parse, resolve and lower MiniRust source to MIR.
+
+    ``emit_bounds_checks=False`` compiles safe indexing without the
+    bounds-check sequence (the §4.1 perf-comparison build).
+    """
+    source = SourceFile(name, text)
+    crate = Parser(source).parse_crate(name=name)
+    sink = DiagnosticSink(source)
+    table = build_item_table(crate, sink)
+    program = ProgramBuilder(
+        table, source, emit_bounds_checks=emit_bounds_checks).build()
+    return CompiledProgram(source=source, crate=crate, program=program,
+                           diagnostics=sink)
+
+
+def compile_file(path: str) -> CompiledProgram:
+    with open(path, "r", encoding="utf-8") as f:
+        return compile_source(f.read(), name=path)
+
+
+def run_all_detectors(compiled) -> Report:
+    """Run every registered detector; accepts a CompiledProgram or a raw
+    MIR Program."""
+    if isinstance(compiled, CompiledProgram):
+        return _run(compiled.program, source=compiled.source)
+    return _run(compiled)
+
+
+def run_detectors(compiled, detectors: List) -> Report:
+    """Run a chosen set of detector *instances*."""
+    if isinstance(compiled, CompiledProgram):
+        return _run(compiled.program, detectors=detectors,
+                    source=compiled.source)
+    return _run(compiled, detectors=detectors)

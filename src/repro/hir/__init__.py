@@ -1,0 +1,23 @@
+"""HIR: the resolved, typed view of a MiniRust crate.
+
+Our HIR follows rustc's role for it loosely: after parsing, the crate is
+resolved into an :class:`~repro.hir.table.ItemTable` mapping names to
+structs / enums / functions / impls / traits / statics, with syntactic
+types lowered to semantic :class:`~repro.lang.types.Ty` values and
+``unsafe`` provenance recorded on every item.  MIR building consumes the
+item table plus the (annotated) AST bodies.
+"""
+
+from repro.hir.table import FnInfo, ItemTable, StaticInfo, build_item_table
+from repro.hir.builtins import BuiltinOp, FuncRef, resolve_builtin_call, resolve_method
+
+__all__ = [
+    "FnInfo",
+    "ItemTable",
+    "StaticInfo",
+    "build_item_table",
+    "BuiltinOp",
+    "FuncRef",
+    "resolve_builtin_call",
+    "resolve_method",
+]

@@ -1,0 +1,28 @@
+"""MiniRust language front-end: source handling, lexer, parser, AST, types.
+
+MiniRust is the Rust subset this reproduction analyses.  It covers the
+features the paper's buggy patterns require: functions, structs, impls,
+traits (``unsafe impl Sync``), ownership moves, borrows (``&``/``&mut``),
+raw pointers and casts, ``unsafe`` blocks and functions, the standard
+containers (``Box``/``Rc``/``Arc``/``Vec``/``Option``/``Result``), the
+synchronisation vocabulary (``Mutex``/``RwLock``/``Condvar``/``Once``/
+channels/atomics), closures and ``thread::spawn``, ``match``/``if let``,
+and macro-call expressions (``vec!``, ``println!``, ...).
+"""
+
+from repro.lang.source import SourceFile, Span
+from repro.lang.diagnostics import Diagnostic, DiagnosticLevel, CompileError
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_source
+
+__all__ = [
+    "SourceFile",
+    "Span",
+    "Diagnostic",
+    "DiagnosticLevel",
+    "CompileError",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_source",
+]

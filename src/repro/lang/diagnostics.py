@@ -1,0 +1,100 @@
+"""Diagnostics: errors and warnings emitted by every compiler stage.
+
+The front-end collects :class:`Diagnostic` values into a
+:class:`DiagnosticSink`; hard failures raise :class:`CompileError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.lang.source import SourceFile, Span
+
+
+class DiagnosticLevel(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+@dataclass
+class Diagnostic:
+    """One compiler message, rustc-style."""
+
+    level: DiagnosticLevel
+    message: str
+    span: Span = Span.DUMMY
+    notes: List[str] = field(default_factory=list)
+
+    def render(self, source: Optional[SourceFile] = None) -> str:
+        parts = [f"{self.level.value}: {self.message}"]
+        if source is not None and not self.span.is_dummy:
+            line, col = source.line_col(self.span.lo)
+            parts.append(f"  --> {source.name}:{line}:{col}")
+            text = source.line_text(line)
+            if text:
+                parts.append(f"   | {text}")
+                width = max(1, min(self.span.hi, len(source.text)) - self.span.lo)
+                parts.append("   | " + " " * (col - 1) + "^" * min(width, max(1, len(text) - col + 1)))
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+
+class CompileError(Exception):
+    """Raised when a stage cannot proceed (syntax error, unresolved name...)."""
+
+    def __init__(self, message: str, span: Span = Span.DUMMY,
+                 source: Optional[SourceFile] = None) -> None:
+        self.diagnostic = Diagnostic(DiagnosticLevel.ERROR, message, span)
+        self.source = source
+        rendered = self.diagnostic.render(source)
+        super().__init__(rendered)
+
+    @property
+    def span(self) -> Span:
+        return self.diagnostic.span
+
+    @property
+    def message(self) -> str:
+        return self.diagnostic.message
+
+
+class DiagnosticSink:
+    """Accumulates diagnostics across compilation stages."""
+
+    def __init__(self, source: Optional[SourceFile] = None) -> None:
+        self.source = source
+        self.diagnostics: List[Diagnostic] = []
+
+    def error(self, message: str, span: Span = Span.DUMMY, **kw) -> Diagnostic:
+        return self._emit(DiagnosticLevel.ERROR, message, span, **kw)
+
+    def warning(self, message: str, span: Span = Span.DUMMY, **kw) -> Diagnostic:
+        return self._emit(DiagnosticLevel.WARNING, message, span, **kw)
+
+    def note(self, message: str, span: Span = Span.DUMMY, **kw) -> Diagnostic:
+        return self._emit(DiagnosticLevel.NOTE, message, span, **kw)
+
+    def _emit(self, level: DiagnosticLevel, message: str, span: Span,
+              notes: Optional[List[str]] = None) -> Diagnostic:
+        diag = Diagnostic(level, message, span, list(notes or []))
+        self.diagnostics.append(diag)
+        return diag
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.level is DiagnosticLevel.ERROR for d in self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.level is DiagnosticLevel.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.level is DiagnosticLevel.WARNING]
+
+    def render_all(self) -> str:
+        return "\n".join(d.render(self.source) for d in self.diagnostics)

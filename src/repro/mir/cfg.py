@@ -1,0 +1,164 @@
+"""Control-flow-graph utilities over MIR bodies.
+
+Provides predecessor/successor maps, reverse post-order, dominators
+(Cooper-Harvey-Kennedy), natural-loop detection, and reachability — the
+graph substrate every dataflow analysis and detector builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.mir.nodes import Body
+
+
+class Cfg:
+    """Successor/predecessor view of one body, plus derived orders."""
+
+    def __init__(self, body: Body) -> None:
+        self.body = body
+        self.num_blocks = len(body.blocks)
+        self.successors: List[List[int]] = [[] for _ in range(self.num_blocks)]
+        self.predecessors: List[List[int]] = [[] for _ in range(self.num_blocks)]
+        for block in body.blocks:
+            if block.terminator is None:
+                continue
+            for succ in block.terminator.successors():
+                if succ is None or not (0 <= succ < self.num_blocks):
+                    continue
+                self.successors[block.index].append(succ)
+                self.predecessors[succ].append(block.index)
+        self._rpo: Optional[List[int]] = None
+        self._idom: Optional[List[Optional[int]]] = None
+
+    # -- orders -------------------------------------------------------------
+
+    def reverse_post_order(self) -> List[int]:
+        if self._rpo is not None:
+            return self._rpo
+        visited: Set[int] = set()
+        post: List[int] = []
+
+        def dfs(start: int) -> None:
+            stack = [(start, iter(self.successors[start]))]
+            visited.add(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append((succ, iter(self.successors[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    post.append(node)
+                    stack.pop()
+
+        if self.num_blocks:
+            dfs(0)
+        self._rpo = list(reversed(post))
+        return self._rpo
+
+    def reachable_blocks(self) -> Set[int]:
+        return set(self.reverse_post_order())
+
+    # -- dominators ------------------------------------------------------------
+
+    def immediate_dominators(self) -> List[Optional[int]]:
+        """Cooper-Harvey-Kennedy iterative dominator computation."""
+        if self._idom is not None:
+            return self._idom
+        rpo = self.reverse_post_order()
+        order_index = {bb: i for i, bb in enumerate(rpo)}
+        idom: List[Optional[int]] = [None] * self.num_blocks
+        if not rpo:
+            self._idom = idom
+            return idom
+        entry = rpo[0]
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for bb in rpo[1:]:
+                preds = [p for p in self.predecessors[bb]
+                         if idom[p] is not None and p in order_index]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(pred, new_idom, idom,
+                                               order_index)
+                if idom[bb] != new_idom:
+                    idom[bb] = new_idom
+                    changed = True
+        self._idom = idom
+        return idom
+
+    @staticmethod
+    def _intersect(a: int, b: int, idom: List[Optional[int]],
+                   order: Dict[int, int]) -> int:
+        while a != b:
+            while order.get(a, -1) > order.get(b, -1):
+                a = idom[a]
+            while order.get(b, -1) > order.get(a, -1):
+                b = idom[b]
+        return a
+
+    def dominates(self, a: int, b: int) -> bool:
+        idom = self.immediate_dominators()
+        node: Optional[int] = b
+        while node is not None:
+            if node == a:
+                return True
+            parent = idom[node]
+            if parent == node:
+                return node == a
+            node = parent
+        return False
+
+    # -- loops ----------------------------------------------------------------------
+
+    def back_edges(self) -> List[tuple]:
+        """Edges ``(tail, head)`` where head dominates tail."""
+        edges = []
+        for bb in self.reachable_blocks():
+            for succ in self.successors[bb]:
+                if self.dominates(succ, bb):
+                    edges.append((bb, succ))
+        return edges
+
+    def natural_loop(self, tail: int, head: int) -> Set[int]:
+        """Blocks of the natural loop of back edge ``tail → head``."""
+        loop = {head, tail}
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            for pred in self.predecessors[node]:
+                if pred not in loop:
+                    loop.add(pred)
+                    stack.append(pred)
+        return loop
+
+    def loops(self) -> List[Set[int]]:
+        return [self.natural_loop(t, h) for t, h in self.back_edges()]
+
+    # -- path queries ----------------------------------------------------------------
+
+    def can_reach(self, source: int, target: int,
+                  without: Optional[Set[int]] = None) -> bool:
+        """Is ``target`` reachable from ``source`` (avoiding ``without``)?"""
+        blocked = without or set()
+        if source in blocked:
+            return False
+        seen = {source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            for succ in self.successors[node]:
+                if succ not in seen and succ not in blocked:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False

@@ -1,0 +1,69 @@
+"""rustc-style pretty printer for MIR bodies.
+
+The output deliberately resembles ``rustc -Zdump-mir`` so anyone familiar
+with real MIR dumps can read ours::
+
+    fn main() -> () {
+        let _1: Vec<i32>;          // v
+        bb0: {
+            StorageLive(_1)
+            _1 = Vec::new() -> bb1
+        }
+        ...
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mir.nodes import Body, Program, StatementKind
+
+
+def pretty_body(body: Body) -> str:
+    lines: List[str] = []
+    unsafe_marker = "unsafe " if body.is_unsafe_fn else ""
+    lines.append(f"{unsafe_marker}fn {body.key}(...) -> {body.ret_ty} {{")
+    for local in body.locals:
+        role = ""
+        if local.index == 0:
+            role = "return place"
+        elif local.is_arg:
+            role = "arg"
+        elif local.name and not local.is_temp:
+            role = local.name
+        elif local.is_temp:
+            role = "temp"
+        comment = f"    // {role}" if role else ""
+        lines.append(f"    let _{local.index}: {local.ty};{comment}")
+    for block in body.blocks:
+        lines.append(f"    bb{block.index}: {{")
+        for stmt in block.statements:
+            marker = "  // unsafe" if stmt.in_unsafe else ""
+            lines.append(f"        {stmt};{marker}")
+        if block.terminator is not None:
+            marker = "  // unsafe" if block.terminator.in_unsafe else ""
+            lines.append(f"        {block.terminator};{marker}")
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_program(program: Program) -> str:
+    parts = [pretty_body(body) for body in program.bodies()]
+    return "\n\n".join(parts)
+
+
+def body_stats(body: Body) -> dict:
+    """Summary statistics used by tests and the CLI."""
+    n_stmts = sum(len(b.statements) for b in body.blocks)
+    n_drops = sum(1 for _, _, s in body.iter_statements()
+                  if s.kind is StatementKind.DROP)
+    n_unsafe = sum(1 for _, _, s in body.iter_statements() if s.in_unsafe)
+    return {
+        "blocks": len(body.blocks),
+        "locals": len(body.locals),
+        "statements": n_stmts,
+        "drops": n_drops,
+        "unsafe_statements": n_unsafe,
+    }

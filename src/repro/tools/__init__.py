@@ -1,0 +1,20 @@
+"""Programmer-facing tools built on the analyses.
+
+The paper's §7 proposes two tool directions besides detectors: IDE
+plug-ins that *visualise* lifetimes, critical sections and implicit
+unlocks (Suggestions 6 and the §7.1 "IDE tools" paragraphs), and fix
+guidance derived from the studied fix strategies (§5.2, §6.1).  This
+package implements both as library functions producing annotated text.
+"""
+
+from repro.tools.annotate import (
+    AnnotatedSource, annotate_critical_sections, annotate_lifetimes,
+)
+from repro.tools.fixes import suggest_fixes
+
+__all__ = [
+    "AnnotatedSource",
+    "annotate_critical_sections",
+    "annotate_lifetimes",
+    "suggest_fixes",
+]

@@ -1,0 +1,114 @@
+"""Fix guidance derived from the paper's studied fix strategies.
+
+§5.2 categorises how the 70 memory bugs were fixed (conditionally skip /
+adjust lifetime / change unsafe operands / other) and §6.1 how the
+blocking bugs were (adjust synchronisation, with guard-lifetime
+adjustment the Rust-unique variant).  This module maps each detector
+finding class to the strategy the paper observed fixing that class, with
+the concrete edit the paper's own figures used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.detectors.report import Finding
+
+
+@dataclass(frozen=True)
+class FixSuggestion:
+    strategy: str            # the §5.2 / §6.1 strategy name
+    advice: str              # concrete edit
+    paper_reference: str
+
+
+_SUGGESTIONS: Dict[str, FixSuggestion] = {
+    "use-after-free": FixSuggestion(
+        strategy="adjust lifetime",
+        advice="extend the pointee's lifetime past the last pointer use "
+               "(bind the temporary to a named local, or move the drop "
+               "after the use), as in the Figure 7 patch",
+        paper_reference="§5.2, Figure 7"),
+    "double-free": FixSuggestion(
+        strategy="adjust lifetime",
+        advice="keep a single owner: move the value (`t2 = t1`) instead "
+               "of `ptr::read`, or `mem::forget` the duplicated owner",
+        paper_reference="§5.1 double-free discussion"),
+    "invalid-free": FixSuggestion(
+        strategy="change unsafe operands",
+        advice="initialise raw memory with `ptr::write(f, value)` instead "
+               "of `*f = value`, so no garbage old value is dropped",
+        paper_reference="§5.2, Figure 6"),
+    "uninit-read": FixSuggestion(
+        strategy="change unsafe operands",
+        advice="write (or zero-fill) the allocation before the first read",
+        paper_reference="§5.2 'Other' fixes"),
+    "buffer-overflow": FixSuggestion(
+        strategy="conditionally skip code",
+        advice="guard the unchecked access with an index-vs-len check and "
+               "skip (or fall back) when out of range",
+        paper_reference="§5.2 'Conditionally skip code' (25/30 skip "
+                        "unsafe code)"),
+    "unguarded-unchecked": FixSuggestion(
+        strategy="conditionally skip code",
+        advice="dominate the `get_unchecked` call with `if index < "
+               "container.len()`",
+        paper_reference="§5.2"),
+    "double-lock": FixSuggestion(
+        strategy="adjust lock-guard lifetime",
+        advice="end the first guard's lifetime before re-acquiring: save "
+               "the scrutinee into a local before the match (Figure 8's "
+               "patch), call the explicit `guard.unlock()` this dialect "
+               "provides (Suggestion 7), or `drop(guard)`",
+        paper_reference="§6.1, Figure 8; Suggestions 6-7"),
+    "conflicting-lock-order": FixSuggestion(
+        strategy="adjust synchronisation operations",
+        advice="impose one global acquisition order on every code path "
+               "(sort the locks, or merge them into one)",
+        paper_reference="§6.1 'acquiring locks in conflicting orders'"),
+    "condvar-no-notify": FixSuggestion(
+        strategy="adjust synchronisation operations",
+        advice="add the missing `notify_one`/`notify_all` on every path "
+               "that changes the awaited condition",
+        paper_reference="§6.1 Condvar (8/10 bugs lack the notify)"),
+    "recv-no-sender": FixSuggestion(
+        strategy="adjust synchronisation operations",
+        advice="keep a live Sender for as long as receivers may block, or "
+               "handle the disconnect Err instead of unwrapping",
+        paper_reference="§6.1 Channel"),
+    "recv-holding-lock": FixSuggestion(
+        strategy="adjust lock-guard lifetime",
+        advice="drop the lock guard before blocking on `recv()`",
+        paper_reference="§6.1 Channel (lock-holding receiver)"),
+    "once-recursion": FixSuggestion(
+        strategy="adjust synchronisation operations",
+        advice="hoist the inner initialisation out of the `call_once` "
+               "closure",
+        paper_reference="§6.1 Once"),
+    "atomic-check-then-act": FixSuggestion(
+        strategy="enforce atomic accesses",
+        advice="replace the load+branch+store with a single "
+               "`compare_and_swap`/`compare_exchange` (Figure 9's patch)",
+        paper_reference="§6.2, Figure 9"),
+    "unsync-interior-mutation": FixSuggestion(
+        strategy="enforce atomic accesses",
+        advice="protect the interior mutation with a Mutex/atomic, or take "
+               "`&mut self` so the compiler enforces exclusive access "
+               "(Insight 10)",
+        paper_reference="§6.2, Figure 4, Suggestion 8"),
+}
+
+
+def suggest_fixes(findings: List[Finding]) -> List[str]:
+    """One actionable suggestion line per finding, in finding order."""
+    lines: List[str] = []
+    for finding in findings:
+        suggestion = _SUGGESTIONS.get(finding.kind)
+        if suggestion is None:
+            lines.append(f"{finding.kind}: no catalogued strategy")
+            continue
+        lines.append(f"{finding.kind} in `{finding.fn_key}` — "
+                     f"[{suggestion.strategy}] {suggestion.advice} "
+                     f"({suggestion.paper_reference})")
+    return lines

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.driver import compile_source
+from repro.detectors.registry import run_detectors
+from repro.mir.interp import ScheduleConfig, run_program
+
+
+def compile_(src: str):
+    """Compile MiniRust source, returning the CompiledProgram."""
+    return compile_source(src)
+
+
+def mir_of(src: str, fn: str = "main"):
+    compiled = compile_source(src)
+    body = compiled.program.body(fn)
+    assert body is not None, f"no function {fn!r}; have " \
+        f"{sorted(compiled.program.functions)}"
+    return body
+
+
+def check(src: str, detectors=None):
+    """Compile and run detectors, returning the Report."""
+    compiled = compile_source(src)
+    return run_detectors(compiled.program, detectors=detectors,
+                         source=compiled.source)
+
+
+def interp(src: str, entry: str = "main", seed: int = 0,
+           quantum: int = 10, max_steps: int = 400_000,
+           detect_races: bool = False):
+    """Compile and interpret, returning the RunResult."""
+    compiled = compile_source(src)
+    config = ScheduleConfig(seed=seed, quantum=quantum, max_steps=max_steps)
+    return run_program(compiled.program, entry=entry, schedule=config,
+                       detect_races=detect_races)
+
+
+def detectors_named(report, name: str):
+    return [f for f in report.findings if f.detector == name]
+
+
+@pytest.fixture
+def compile_src():
+    return compile_

@@ -1,0 +1,178 @@
+"""Driver and CLI tests."""
+
+import pytest
+
+from repro import compile_source, run_all_detectors
+from repro.cli import main as cli_main
+from repro.detectors.use_after_free import UseAfterFreeDetector
+from repro.driver import CompiledProgram, compile_file, run_detectors
+
+
+UAF_SRC = """
+fn main() {
+    let v = vec![1, 2, 3];
+    let p = v.as_ptr();
+    drop(v);
+    unsafe { let x = *p; }
+}
+"""
+
+CLEAN_SRC = """
+fn main() {
+    let v = vec![1, 2, 3];
+    println!("{}", v.len());
+}
+"""
+
+
+class TestDriver:
+    def test_compile_source_returns_compiled_program(self):
+        compiled = compile_source(CLEAN_SRC)
+        assert isinstance(compiled, CompiledProgram)
+        assert "main" in compiled.functions
+        assert compiled.item_table is not None
+
+    def test_run_all_detectors_on_buggy(self):
+        report = run_all_detectors(compile_source(UAF_SRC))
+        assert report.by_detector("use-after-free")
+
+    def test_run_all_detectors_on_clean(self):
+        report = run_all_detectors(compile_source(CLEAN_SRC))
+        assert not report.errors
+
+    def test_run_selected_detectors(self):
+        report = run_detectors(compile_source(UAF_SRC),
+                               [UseAfterFreeDetector()])
+        assert {f.detector for f in report.findings} <= {"use-after-free"}
+
+    def test_compile_file(self, tmp_path):
+        path = tmp_path / "prog.rs"
+        path.write_text(CLEAN_SRC)
+        compiled = compile_file(str(path))
+        assert "main" in compiled.functions
+
+
+class TestCli:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "prog.rs"
+        path.write_text(text)
+        return str(path)
+
+    def test_check_buggy_exits_nonzero(self, tmp_path, capsys):
+        code = cli_main(["check", self._write(tmp_path, UAF_SRC)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "use-after-free" in out
+
+    def test_check_clean_exits_zero(self, tmp_path, capsys):
+        code = cli_main(["check", self._write(tmp_path, CLEAN_SRC)])
+        assert code == 0
+
+    def test_check_single_detector(self, tmp_path, capsys):
+        code = cli_main(["check", self._write(tmp_path, UAF_SRC),
+                         "--detector", "use-after-free"])
+        assert code == 1
+
+    def test_check_unknown_detector(self, tmp_path, capsys):
+        code = cli_main(["check", self._write(tmp_path, CLEAN_SRC),
+                         "--detector", "nonsense"])
+        assert code == 2
+
+    def test_run_clean(self, tmp_path, capsys):
+        code = cli_main(["run", self._write(tmp_path, CLEAN_SRC)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3" in out and "outcome: ok" in out
+
+    def test_run_ub(self, tmp_path, capsys):
+        code = cli_main(["run", self._write(tmp_path, UAF_SRC)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "use-after-free" in out
+
+    def test_mir_dump(self, tmp_path, capsys):
+        code = cli_main(["mir", self._write(tmp_path, CLEAN_SRC),
+                         "--fn", "main"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "StorageLive" in out and "bb0" in out
+
+    def test_scan(self, tmp_path, capsys):
+        code = cli_main(["scan", self._write(tmp_path, UAF_SRC)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unsafe blocks" in out
+
+    def test_tables(self, capsys):
+        code = cli_main(["tables", "--table", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Servo" in out and "14574" in out
+
+    def test_tables_all(self, capsys):
+        code = cli_main(["tables"])
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Table 3" in out and "Table 4" in out
+
+    def test_corpus(self, capsys):
+        code = cli_main(["corpus", "--scale", "1", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "double-lock" in out and "use-after-free" in out
+
+
+class TestCliExtensions:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "prog.rs"
+        path.write_text(text)
+        return str(path)
+
+    def test_check_with_advice(self, tmp_path, capsys):
+        cli_main(["check", self._write(tmp_path, UAF_SRC), "--advice"])
+        out = capsys.readouterr().out
+        assert "suggested fixes" in out
+        assert "adjust lifetime" in out
+
+    def test_annotate(self, tmp_path, capsys):
+        src = """
+        fn f(m: &Mutex<i32>) {
+            let g = m.lock().unwrap();
+            print(*g);
+        }
+        """
+        code = cli_main(["annotate", self._write(tmp_path, src),
+                         "--fn", "f"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "storage lines" in out
+        assert "critical section" in out
+
+    def test_annotate_unknown_fn(self, tmp_path):
+        code = cli_main(["annotate", self._write(tmp_path, CLEAN_SRC),
+                         "--fn", "nope"])
+        assert code == 2
+
+
+class TestDriverBoundsBuildMode:
+    def test_unchecked_build_has_no_asserts(self):
+        from repro.driver import compile_source
+        from repro.mir.nodes import TerminatorKind
+        src = "fn main() { let v = vec![1, 2]; let x = v[1]; print(x); }"
+        checked = compile_source(src)
+        unchecked = compile_source(src, emit_bounds_checks=False)
+
+        def asserts(compiled):
+            return sum(1 for _bb, t in
+                       compiled.program.functions["main"].iter_terminators()
+                       if t.kind is TerminatorKind.ASSERT)
+
+        assert asserts(checked) > 0
+        assert asserts(unchecked) == 0
+
+    def test_unchecked_build_still_runs(self):
+        from repro.driver import compile_source
+        from repro.mir.interp import run_program
+        src = "fn main() { let v = vec![7, 8]; println!(\"{}\", v[1]); }"
+        result = run_program(
+            compile_source(src, emit_bounds_checks=False).program)
+        assert result.ok and result.stdout == ["8"]

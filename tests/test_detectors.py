@@ -1,0 +1,583 @@
+"""Detector tests: every detector on positive and negative cases, plus
+the paper's figure patterns end-to-end."""
+
+from conftest import check, detectors_named
+
+
+class TestUseAfterFree:
+    def test_drop_then_deref(self):
+        report = check("""
+            fn main() {
+                let v = vec![1, 2, 3];
+                let p = v.as_ptr();
+                drop(v);
+                unsafe { let x = *p; }
+            }""")
+        assert detectors_named(report, "use-after-free")
+
+    def test_deref_before_drop_clean(self):
+        report = check("""
+            fn main() {
+                let v = vec![1, 2, 3];
+                let p = v.as_ptr();
+                unsafe { let x = *p; }
+                drop(v);
+            }""")
+        assert not detectors_named(report, "use-after-free")
+
+    def test_dangling_scoped_pointer(self):
+        report = check("""
+            fn main() {
+                let p = {
+                    let x = 5;
+                    &x as *const i32
+                };
+                unsafe { let y = *p; }
+            }""")
+        assert detectors_named(report, "use-after-free")
+
+    def test_figure7_escape_to_ffi(self):
+        report = check("""
+            struct BioSlice { v: i32 }
+            impl BioSlice {
+                fn new(data: i32) -> BioSlice { BioSlice { v: data } }
+                fn as_ptr(&self) -> *const BioSlice {
+                    &self.v as *const i32 as *const BioSlice
+                }
+            }
+            fn sign(data: Option<i32>) {
+                let p = match data {
+                    Some(d) => BioSlice::new(d).as_ptr(),
+                    None => ptr::null_mut(),
+                };
+                unsafe { let cms = CMS_sign(p); }
+            }""")
+        assert detectors_named(report, "use-after-free")
+
+    def test_figure7_fixed_clean(self):
+        report = check("""
+            struct BioSlice { v: i32 }
+            impl BioSlice {
+                fn new(data: i32) -> BioSlice { BioSlice { v: data } }
+                fn as_ptr(&self) -> *const BioSlice {
+                    &self.v as *const i32 as *const BioSlice
+                }
+            }
+            fn sign(data: Option<i32>) {
+                let bio = match data {
+                    Some(d) => Some(BioSlice::new(d)),
+                    None => None,
+                };
+                let p = bio.map_or(ptr::null_mut(), |b| b.as_ptr());
+                unsafe { let cms = CMS_sign(p); }
+            }""")
+        assert not detectors_named(report, "use-after-free")
+
+    def test_pointer_to_live_arg_clean(self):
+        report = check("""
+            fn f(v: &Vec<i32>) {
+                let p = v.as_ptr();
+                unsafe { let x = *p; }
+            }""")
+        assert not detectors_named(report, "use-after-free")
+
+
+class TestDoubleLock:
+    def test_figure8(self):
+        report = check("""
+            struct Inner { m: i32 }
+            fn connect(m: i32) -> Result<i32, i32> { Ok(m) }
+            fn do_request(client: &RwLock<Inner>) {
+                match connect(client.read().unwrap().m) {
+                    Ok(x) => {
+                        let mut inner = client.write().unwrap();
+                        inner.m = x;
+                    }
+                    Err(e) => {}
+                };
+            }""")
+        findings = detectors_named(report, "double-lock")
+        assert findings
+        assert not findings[0].metadata["interprocedural"]
+
+    def test_figure8_fixed_clean(self):
+        report = check("""
+            struct Inner { m: i32 }
+            fn connect(m: i32) -> Result<i32, i32> { Ok(m) }
+            fn do_request(client: &RwLock<Inner>) {
+                let result = connect(client.read().unwrap().m);
+                match result {
+                    Ok(x) => {
+                        let mut inner = client.write().unwrap();
+                        inner.m = x;
+                    }
+                    Err(e) => {}
+                };
+            }""")
+        assert not detectors_named(report, "double-lock")
+
+    def test_sequential_locks_clean(self):
+        report = check("""
+            fn f(m: &Mutex<i32>) {
+                let a = {
+                    let g = m.lock().unwrap();
+                    *g
+                };
+                let b = {
+                    let g = m.lock().unwrap();
+                    *g
+                };
+                print(a + b);
+            }""")
+        assert not detectors_named(report, "double-lock")
+
+    def test_read_read_allowed(self):
+        report = check("""
+            fn f(l: &RwLock<i32>) {
+                let a = l.read().unwrap();
+                let b = l.read().unwrap();
+                print(*a + *b);
+            }""")
+        assert not detectors_named(report, "double-lock")
+
+    def test_read_write_conflicts(self):
+        report = check("""
+            fn f(l: &RwLock<i32>) {
+                let a = l.read().unwrap();
+                let mut b = l.write().unwrap();
+                *b = *a;
+            }""")
+        assert detectors_named(report, "double-lock")
+
+    def test_interprocedural(self):
+        report = check("""
+            fn helper(m: &Mutex<i32>) -> i32 {
+                let g = m.lock().unwrap();
+                *g
+            }
+            fn outer(m: &Mutex<i32>) {
+                let g = m.lock().unwrap();
+                let v = helper(m);
+                print(v + *g);
+            }""")
+        findings = detectors_named(report, "double-lock")
+        assert findings
+        assert any(f.metadata.get("interprocedural") for f in findings)
+
+    def test_interprocedural_different_lock_clean(self):
+        report = check("""
+            fn helper(m: &Mutex<i32>) -> i32 {
+                let g = m.lock().unwrap();
+                *g
+            }
+            fn outer(a: &Mutex<i32>, b: &Mutex<i32>) {
+                let g = a.lock().unwrap();
+                let v = helper(b);
+                print(v + *g);
+            }""")
+        assert not detectors_named(report, "double-lock")
+
+    def test_try_lock_not_flagged(self):
+        report = check("""
+            fn f(m: &Mutex<i32>) {
+                let g = m.lock().unwrap();
+                let t = m.try_lock();
+                print(*g);
+            }""")
+        assert not detectors_named(report, "double-lock")
+
+    def test_explicit_drop_ends_region(self):
+        report = check("""
+            fn f(m: &Mutex<i32>) {
+                let g = m.lock().unwrap();
+                drop(g);
+                let h = m.lock().unwrap();
+                print(*h);
+            }""")
+        assert not detectors_named(report, "double-lock")
+
+    def test_if_let_scrutinee_guard(self):
+        report = check("""
+            fn f(m: &Mutex<i32>) {
+                if let Ok(g) = m.lock() {
+                    let h = m.lock().unwrap();
+                    print(*g + *h);
+                }
+            }""")
+        assert detectors_named(report, "double-lock")
+
+
+class TestLockOrder:
+    def test_abba_cycle(self):
+        report = check("""
+            static A: Mutex<i32> = Mutex::new(0);
+            static B: Mutex<i32> = Mutex::new(0);
+            fn first() {
+                let a = A.lock().unwrap();
+                let b = B.lock().unwrap();
+                print(*a + *b);
+            }
+            fn second() {
+                let b = B.lock().unwrap();
+                let a = A.lock().unwrap();
+                print(*a + *b);
+            }""")
+        assert detectors_named(report, "lock-order")
+
+    def test_consistent_order_clean(self):
+        report = check("""
+            static A: Mutex<i32> = Mutex::new(0);
+            static B: Mutex<i32> = Mutex::new(0);
+            fn first() {
+                let a = A.lock().unwrap();
+                let b = B.lock().unwrap();
+                print(*a + *b);
+            }
+            fn second() {
+                let a = A.lock().unwrap();
+                let b = B.lock().unwrap();
+                print(*a + *b);
+            }""")
+        assert not detectors_named(report, "lock-order")
+
+
+class TestMemoryMisc:
+    def test_double_free_ptr_read(self):
+        report = check("""
+            fn dup(v: Vec<i32>) {
+                let t1 = v;
+                unsafe {
+                    let t2 = ptr::read(&t1);
+                    drop(t2);
+                }
+            }""")
+        assert detectors_named(report, "double-free")
+
+    def test_ptr_read_with_forget_clean(self):
+        report = check("""
+            fn dup(v: Vec<i32>) {
+                let t1 = v;
+                unsafe {
+                    let t2 = ptr::read(&t1);
+                    mem::forget(t1);
+                    drop(t2);
+                }
+            }""")
+        assert not detectors_named(report, "double-free")
+
+    def test_figure6_invalid_free(self):
+        report = check("""
+            struct FILE { buf: Vec<u8> }
+            unsafe fn _fdopen() {
+                let f = alloc(100) as *mut FILE;
+                *f = FILE { buf: vec![0u8; 100] };
+            }""")
+        assert detectors_named(report, "invalid-free")
+
+    def test_figure6_fixed_with_ptr_write(self):
+        report = check("""
+            struct FILE { buf: Vec<u8> }
+            unsafe fn _fdopen() {
+                let f = alloc(100) as *mut FILE;
+                ptr::write(f, FILE { buf: vec![0u8; 100] });
+            }""")
+        assert not detectors_named(report, "invalid-free")
+
+    def test_uninit_read(self):
+        report = check("""
+            unsafe fn f() -> i32 {
+                let p = alloc(16) as *mut i32;
+                let v = *p;
+                v
+            }""")
+        assert detectors_named(report, "uninit-read")
+
+    def test_written_alloc_clean(self):
+        report = check("""
+            unsafe fn f() -> i32 {
+                let p = alloc(16) as *mut i32;
+                ptr::write(p, 7);
+                let v = *p;
+                v
+            }""")
+        assert not detectors_named(report, "uninit-read")
+
+
+class TestBufferOverflow:
+    def test_constant_oob(self):
+        report = check("""
+            fn f() -> u8 {
+                let v = vec![0u8; 8];
+                unsafe { *v.get_unchecked(9) }
+            }""")
+        findings = detectors_named(report, "buffer-overflow")
+        assert any(f.metadata.get("definite") for f in findings)
+
+    def test_in_bounds_clean(self):
+        report = check("""
+            fn f() -> u8 {
+                let v = vec![0u8; 8];
+                unsafe { *v.get_unchecked(3) }
+            }""")
+        assert not [f for f in detectors_named(report, "buffer-overflow")
+                    if f.metadata.get("definite")]
+
+    def test_unguarded_dynamic_index_warns(self):
+        report = check("""
+            fn f(i: usize) -> u8 {
+                let v = vec![0u8; 8];
+                unsafe { *v.get_unchecked(i) }
+            }""")
+        assert detectors_named(report, "buffer-overflow")
+
+    def test_guarded_dynamic_index_clean(self):
+        report = check("""
+            fn f(i: usize) -> u8 {
+                let v = vec![0u8; 8];
+                if i < v.len() {
+                    unsafe { return *v.get_unchecked(i); }
+                }
+                0
+            }""")
+        assert not detectors_named(report, "buffer-overflow")
+
+
+class TestConcurrencyMisc:
+    def test_condvar_without_notify(self):
+        report = check("""
+            fn main() {
+                let m = Mutex::new(false);
+                let cv = Condvar::new();
+                let g = m.lock().unwrap();
+                let g2 = cv.wait(g).unwrap();
+            }""")
+        assert detectors_named(report, "condvar")
+
+    def test_condvar_with_notify_clean(self):
+        report = check("""
+            fn waiter(m: &Mutex<bool>, cv: &Condvar) {
+                let g = m.lock().unwrap();
+                let g2 = cv.wait(g).unwrap();
+            }
+            fn signaller(cv: &Condvar) {
+                cv.notify_all();
+            }""")
+        assert not detectors_named(report, "condvar")
+
+    def test_recv_no_sender(self):
+        report = check("""
+            fn main() {
+                let (tx, rx) = channel();
+                drop(tx);
+                let v = rx.recv();
+            }""")
+        assert detectors_named(report, "channel")
+
+    def test_channel_with_sender_clean(self):
+        report = check("""
+            fn main() {
+                let (tx, rx) = channel();
+                tx.send(1);
+                let v = rx.recv();
+            }""")
+        assert not detectors_named(report, "channel")
+
+    def test_once_recursion(self):
+        report = check("""
+            static INIT: Once = Once::new();
+            fn main() {
+                INIT.call_once(|| {
+                    INIT.call_once(|| { print(1); });
+                });
+            }""")
+        assert detectors_named(report, "once-recursion")
+
+    def test_once_simple_clean(self):
+        report = check("""
+            static INIT: Once = Once::new();
+            fn main() {
+                INIT.call_once(|| { print(1); });
+            }""")
+        assert not detectors_named(report, "once-recursion")
+
+
+class TestInteriorMutability:
+    def test_figure9_check_then_act(self):
+        report = check("""
+            struct AuthorityRound { proposed: AtomicBool }
+            unsafe impl Sync for AuthorityRound {}
+            impl AuthorityRound {
+                fn generate_seal(&self) -> i32 {
+                    if self.proposed.load() { return 0; }
+                    self.proposed.store(true);
+                    return 1;
+                }
+            }""")
+        assert detectors_named(report, "atomicity-violation")
+
+    def test_figure9_fixed_with_cas(self):
+        report = check("""
+            struct AuthorityRound { proposed: AtomicBool }
+            unsafe impl Sync for AuthorityRound {}
+            impl AuthorityRound {
+                fn generate_seal(&self) -> i32 {
+                    if !self.proposed.compare_and_swap(false, true) {
+                        return 1;
+                    }
+                    return 0;
+                }
+            }""")
+        assert not detectors_named(report, "atomicity-violation")
+
+    def test_figure4_unsync_write(self):
+        report = check("""
+            struct TestCell { value: i32 }
+            unsafe impl Sync for TestCell {}
+            impl TestCell {
+                fn set(&self, i: i32) {
+                    let p = &self.value as *const i32 as *mut i32;
+                    unsafe { *p = i; }
+                }
+            }""")
+        assert detectors_named(report, "sync-unsync-write")
+
+    def test_locked_write_clean(self):
+        report = check("""
+            struct Locked { value: Mutex<i32> }
+            unsafe impl Sync for Locked {}
+            impl Locked {
+                fn set(&self, i: i32) {
+                    let mut g = self.value.lock().unwrap();
+                    *g = i;
+                }
+            }""")
+        assert not detectors_named(report, "sync-unsync-write")
+
+    def test_non_shared_struct_clean(self):
+        report = check("""
+            struct Private { value: i32 }
+            impl Private {
+                fn set(&self, i: i32) {
+                    let p = &self.value as *const i32 as *mut i32;
+                    unsafe { *p = i; }
+                }
+            }""")
+        assert not detectors_named(report, "sync-unsync-write")
+
+
+class TestReportApi:
+    def test_dedup(self):
+        report = check("""
+            fn main() {
+                let v = vec![1];
+                let p = v.as_ptr();
+                drop(v);
+                unsafe { let x = *p; }
+            }""")
+        deduped = report.dedup()
+        keys = [f.dedup_key() for f in deduped.findings]
+        assert len(keys) == len(set(keys))
+
+    def test_counts(self):
+        report = check("""
+            fn main() {
+                let v = vec![1];
+                let p = v.as_ptr();
+                drop(v);
+                unsafe { let x = *p; }
+            }""")
+        counts = report.counts()
+        assert counts.get("use-after-free", 0) >= 1
+
+    def test_render_mentions_location(self):
+        report = check("""
+            fn main() {
+                let v = vec![1];
+                let p = v.as_ptr();
+                drop(v);
+                unsafe { let x = *p; }
+            }""")
+        assert "use-after-free" in report.render()
+
+
+class TestNullDeref:
+    def test_definite_null_write(self):
+        report = check("""
+            fn main() {
+                let p: *mut i32 = ptr::null_mut();
+                unsafe { *p = 5; }
+            }""")
+        findings = detectors_named(report, "null-deref")
+        assert findings and findings[0].metadata["definite"]
+
+    def test_guarded_with_is_null_clean(self):
+        report = check("""
+            fn main() {
+                let p: *mut i32 = ptr::null_mut();
+                unsafe {
+                    if !p.is_null() {
+                        *p = 5;
+                    }
+                }
+            }""")
+        assert not detectors_named(report, "null-deref")
+
+    def test_interprocedural_null_return(self):
+        report = check("""
+            fn lookup(found: bool) -> *mut i32 {
+                ptr::null_mut()
+            }
+            fn main() {
+                let p = lookup(false);
+                unsafe { *p = 5; }
+            }""")
+        assert detectors_named(report, "null-deref")
+
+    def test_possibly_null_is_warning(self):
+        report = check("""
+            fn main() {
+                let x = 1;
+                let good = &x as *const i32;
+                let p = if x > 0 { good } else { ptr::null() };
+                unsafe { let y = *p; }
+            }""")
+        findings = detectors_named(report, "null-deref")
+        assert findings
+        assert not findings[0].metadata["definite"]
+
+    def test_valid_pointer_clean(self):
+        report = check("""
+            fn main() {
+                let x = 1;
+                let p = &x as *const i32;
+                unsafe { let y = *p; }
+            }""")
+        assert not detectors_named(report, "null-deref")
+
+
+class TestDanglingReturn:
+    def test_return_pointer_to_local(self):
+        report = check("""
+            fn make() -> *const i32 {
+                let x = 5;
+                &x as *const i32
+            }""")
+        assert detectors_named(report, "dangling-return")
+
+    def test_return_pointer_into_arg_clean(self):
+        report = check("""
+            fn passthrough(v: &Vec<i32>) -> *const i32 {
+                v.as_ptr()
+            }""")
+        assert not detectors_named(report, "dangling-return")
+
+    def test_return_heap_pointer_clean(self):
+        report = check("""
+            fn make() -> *mut u8 {
+                unsafe { alloc(8) }
+            }""")
+        assert not detectors_named(report, "dangling-return")
+
+    def test_non_pointer_return_ignored(self):
+        report = check("fn f() -> i32 { let x = 5; x }")
+        assert not detectors_named(report, "dangling-return")

@@ -1,0 +1,143 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.diagnostics import CompileError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind as T
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]   # strip EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is T.EOF
+
+    def test_identifiers(self):
+        assert kinds("foo bar_baz _x x1") == [T.IDENT] * 4
+
+    def test_underscore_is_its_own_token(self):
+        assert kinds("_") == [T.UNDERSCORE]
+
+    def test_keywords(self):
+        assert kinds("fn let mut unsafe impl trait") == [
+            T.KW_FN, T.KW_LET, T.KW_MUT, T.KW_UNSAFE, T.KW_IMPL, T.KW_TRAIT]
+
+    def test_keyword_prefix_is_identifier(self):
+        assert kinds("fnord letter") == [T.IDENT, T.IDENT]
+
+    def test_self_vs_self_type(self):
+        assert kinds("self Self") == [T.KW_SELF, T.KW_SELF_TYPE]
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert values("42") == [42]
+
+    def test_underscore_separator(self):
+        assert values("1_000_000") == [1000000]
+
+    def test_hex_octal_binary(self):
+        assert values("0xff 0o77 0b1010") == [255, 63, 10]
+
+    def test_suffixes(self):
+        tokens = tokenize("42u8 7i64 0usize")
+        assert [t.value for t in tokens[:-1]] == [42, 7, 0]
+        assert [t.kind for t in tokens[:-1]] == [T.INT] * 3
+
+    def test_float(self):
+        tokens = tokenize("3.25")
+        assert tokens[0].kind is T.FLOAT
+        assert tokens[0].value == 3.25
+
+    def test_range_not_float(self):
+        # `1..2` must lex as INT DOTDOT INT, not a float.
+        assert kinds("1..2") == [T.INT, T.DOTDOT, T.INT]
+
+    def test_method_on_int_not_float(self):
+        assert kinds("1.max") == [T.INT, T.DOT, T.IDENT]
+
+    def test_bad_hex_raises(self):
+        with pytest.raises(CompileError):
+            tokenize("0x")
+
+
+class TestStringsAndChars:
+    def test_simple_string(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_escapes(self):
+        assert values(r'"a\nb\t\"q\""') == ['a\nb\t"q"']
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(CompileError):
+            tokenize('"oops')
+
+    def test_char_literal(self):
+        tokens = tokenize("'a'")
+        assert tokens[0].kind is T.CHAR
+        assert tokens[0].value == "a"
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].value == "\n"
+
+    def test_lifetime(self):
+        tokens = tokenize("'a 'static")
+        assert tokens[0].kind is T.LIFETIME
+        assert tokens[0].text == "'a"
+        assert tokens[1].kind is T.LIFETIME
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert kinds("<<= >>= ..= :: -> => == != <= >=") == [
+            T.SHLEQ, T.SHREQ, T.DOTDOTEQ, T.COLONCOLON, T.ARROW, T.FATARROW,
+            T.EQEQ, T.NE, T.LE, T.GE]
+
+    def test_compound_assign(self):
+        assert kinds("+= -= *= /= %= &= |= ^=") == [
+            T.PLUSEQ, T.MINUSEQ, T.STAREQ, T.SLASHEQ, T.PERCENTEQ, T.AMPEQ,
+            T.PIPEEQ, T.CARETEQ]
+
+    def test_shift_vs_generics_tokens(self):
+        # The lexer always produces SHR; the parser splits it.
+        assert kinds("Vec<Vec<i32>>")[-1] is T.SHR
+
+    def test_ampamp_vs_amp(self):
+        assert kinds("&& &") == [T.AMPAMP, T.AMP]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [T.IDENT, T.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* x */ b") == [T.IDENT, T.IDENT]
+
+    def test_nested_block_comment(self):
+        assert kinds("a /* x /* y */ z */ b") == [T.IDENT, T.IDENT]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(CompileError):
+            tokenize("/* oops")
+
+
+class TestSpans:
+    def test_spans_cover_source(self):
+        text = "let x = 42;"
+        tokens = tokenize(text)
+        for token in tokens[:-1]:
+            assert text[token.span.lo:token.span.hi] == token.text
+
+    def test_spans_monotonic(self):
+        tokens = tokenize("fn main() { let x = 1 + 2; }")
+        positions = [t.span.lo for t in tokens[:-1]]
+        assert positions == sorted(positions)

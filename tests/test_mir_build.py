@@ -1,0 +1,289 @@
+"""MIR lowering tests: storage events, drops, moves, unsafe provenance."""
+
+from conftest import compile_, mir_of
+
+from repro.lang.types import TyKind
+from repro.mir.nodes import (
+    RvalueKind, StatementKind, TerminatorKind,
+)
+
+
+def statements_of(body, kind):
+    return [s for _b, _i, s in body.iter_statements() if s.kind is kind]
+
+
+def calls_of(body, name=None):
+    out = []
+    for _bb, term in body.iter_terminators():
+        if term.kind is TerminatorKind.CALL:
+            if name is None or (term.func and name in term.func.name):
+                out.append(term)
+    return out
+
+
+class TestLocalsAndStorage:
+    def test_return_place_is_local_zero(self):
+        body = mir_of("fn main() -> i32 { 7 }", "main")
+        assert body.locals[0].index == 0
+        assert body.locals[0].ty.kind is TyKind.INT
+
+    def test_args_follow_return_place(self):
+        body = mir_of("fn f(a: i32, b: bool) {}", "f")
+        assert body.arg_count == 2
+        assert body.locals[1].is_arg and body.locals[2].is_arg
+
+    def test_let_generates_storage_live(self):
+        body = mir_of("fn main() { let x = 1; }")
+        lives = statements_of(body, StatementKind.STORAGE_LIVE)
+        deads = statements_of(body, StatementKind.STORAGE_DEAD)
+        assert lives and deads
+
+    def test_storage_live_precedes_dead_per_local(self):
+        body = mir_of("fn main() { let x = 1; let y = x + 1; }")
+        seen = {}
+        order = []
+        for bb, i, stmt in body.iter_statements():
+            if stmt.kind is StatementKind.STORAGE_LIVE:
+                order.append(("live", stmt.local))
+            elif stmt.kind is StatementKind.STORAGE_DEAD:
+                order.append(("dead", stmt.local))
+        for kind, local in order:
+            if kind == "live":
+                seen[local] = True
+            else:
+                assert seen.get(local), f"StorageDead before Live for _{local}"
+
+    def test_user_name_recorded(self):
+        body = mir_of("fn main() { let total = 1; }")
+        names = [l.name for l in body.locals]
+        assert "total" in names
+
+
+class TestDropsAndMoves:
+    def test_vec_local_gets_drop(self):
+        body = mir_of("fn main() { let v: Vec<i32> = Vec::new(); }")
+        drops = statements_of(body, StatementKind.DROP)
+        assert drops, "owned Vec must be dropped at scope end"
+
+    def test_scalar_gets_no_drop(self):
+        body = mir_of("fn main() { let x = 1; }")
+        assert not statements_of(body, StatementKind.DROP)
+
+    def test_move_operand_for_non_copy(self):
+        body = mir_of("""
+            fn main() {
+                let v: Vec<i32> = Vec::new();
+                let w = v;
+            }""")
+        moves = [s for _b, _i, s in body.iter_statements()
+                 if s.kind is StatementKind.ASSIGN and s.rvalue is not None
+                 and s.rvalue.kind is RvalueKind.USE
+                 and s.rvalue.operands[0].is_move]
+        assert moves
+
+    def test_copy_operand_for_scalar(self):
+        body = mir_of("fn main() { let x = 1; let y = x; }")
+        for _b, _i, s in body.iter_statements():
+            if s.kind is StatementKind.ASSIGN and s.rvalue is not None:
+                for op in s.rvalue.operands:
+                    assert not op.is_move
+
+    def test_drops_in_reverse_declaration_order(self):
+        body = mir_of("""
+            fn main() {
+                let a: Vec<i32> = Vec::new();
+                let b: Vec<i32> = Vec::new();
+            }""")
+        drop_locals = [s.place.local for _b, _i, s in body.iter_statements()
+                       if s.kind is StatementKind.DROP]
+        assert drop_locals == sorted(drop_locals, reverse=True)
+
+    def test_moved_temp_drop_elided(self):
+        body = mir_of("""
+            fn main() {
+                let v = Vec::new();
+            }""")
+        # The Vec::new() temp was moved into `v`; only `v` gets a drop.
+        drops = statements_of(body, StatementKind.DROP)
+        assert len(drops) == 1
+
+
+class TestUnsafeProvenance:
+    def test_unsafe_block_marks_statements(self):
+        body = mir_of("""
+            fn main() {
+                let x = 1;
+                unsafe { let y = x + 1; }
+            }""")
+        flags = [s.in_unsafe for _b, _i, s in body.iter_statements()
+                 if s.kind is StatementKind.ASSIGN]
+        assert any(flags) and not all(flags)
+
+    def test_unsafe_fn_marks_everything(self):
+        body = mir_of("unsafe fn f() { let x = 1; }", "f")
+        assert body.is_unsafe_fn
+        assert all(s.in_unsafe for _b, _i, s in body.iter_statements())
+
+    def test_interior_unsafe_flag(self):
+        body = mir_of("""
+            fn f() {
+                unsafe { let x = 1; }
+            }""", "f")
+        assert body.has_unsafe_block
+        assert not body.is_unsafe_fn
+        assert body.has_interior_unsafe
+
+
+class TestControlFlowLowering:
+    def test_if_produces_switch(self):
+        body = mir_of("fn main() { if true { } else { } }")
+        switches = [t for _b, t in body.iter_terminators()
+                    if t.kind is TerminatorKind.SWITCH_INT]
+        assert switches
+
+    def test_every_block_terminated(self):
+        body = mir_of("""
+            fn main() {
+                let mut x = 0;
+                for i in 0..4 {
+                    if i == 2 { continue; }
+                    x += i;
+                }
+                while x > 0 { x -= 1; }
+            }""")
+        for block in body.blocks:
+            assert block.terminator is not None
+
+    def test_index_emits_bounds_assert(self):
+        body = mir_of("""
+            fn main() {
+                let v = vec![1, 2];
+                let x = v[1];
+            }""")
+        asserts = [t for _b, t in body.iter_terminators()
+                   if t.kind is TerminatorKind.ASSERT]
+        assert asserts
+
+    def test_short_circuit_and(self):
+        body = mir_of("fn f(a: bool, b: bool) -> bool { a && b }", "f")
+        switches = [t for _b, t in body.iter_terminators()
+                    if t.kind is TerminatorKind.SWITCH_INT]
+        assert switches, "&& must lower to a branch, not a strict BinOp"
+
+    def test_return_unwinds_scopes(self):
+        body = mir_of("""
+            fn f(flag: bool) {
+                let v: Vec<i32> = Vec::new();
+                if flag { return; }
+            }""", "f")
+        # The early-return path must drop `v` too: at least two Drop sites.
+        drops = statements_of(body, StatementKind.DROP)
+        assert len(drops) >= 2
+
+
+class TestCallsAndMethods:
+    def test_user_call_resolved(self):
+        body = mir_of("""
+            fn helper(x: i32) -> i32 { x }
+            fn main() { let y = helper(1); }""")
+        calls = calls_of(body, "helper")
+        assert calls and calls[0].func.user_fn == "helper"
+
+    def test_method_call_resolved_to_impl(self):
+        body = mir_of("""
+            struct S { v: i32 }
+            impl S { fn get(&self) -> i32 { self.v } }
+            fn main() { let s = S { v: 1 }; let x = s.get(); }""")
+        calls = calls_of(body, "S::get")
+        assert calls
+
+    def test_lock_resolves_to_builtin(self):
+        body = mir_of("""
+            fn f(m: &Mutex<i32>) { let g = m.lock().unwrap(); }""", "f")
+        assert calls_of(body, "Mutex::lock")
+
+    def test_guard_type_inferred(self):
+        body = mir_of("""
+            fn f(m: &Mutex<i32>) { let g = m.lock().unwrap(); }""", "f")
+        guard_locals = [l for l in body.locals
+                        if l.ty.kind is TyKind.BUILTIN
+                        and l.ty.name == "MutexGuard"]
+        assert guard_locals
+
+    def test_spawn_creates_closure_body(self):
+        compiled = compile_("""
+            fn main() {
+                let h = thread::spawn(move || { let x = 1; });
+            }""")
+        assert any("{closure#0}" in k for k in compiled.program.functions)
+
+    def test_closure_captures_become_args(self):
+        compiled = compile_("""
+            fn main() {
+                let data = 5;
+                let f = move || data + 1;
+            }""")
+        closure = compiled.program.functions["main::{closure#0}"]
+        assert closure.captures == ["data"]
+        assert closure.arg_count == 1
+
+
+class TestGuardLifetimes:
+    """The Figure 8 semantics: match scrutinee temporaries live to the end
+    of the whole match."""
+
+    def _guard_dead_positions(self, body):
+        guard_locals = {l.index for l in body.locals
+                        if l.ty.kind is TyKind.BUILTIN and "Guard" in l.ty.name}
+        positions = {}
+        for bb, i, s in body.iter_statements():
+            if s.kind is StatementKind.STORAGE_DEAD and s.local in guard_locals:
+                positions[s.local] = bb
+        return positions
+
+    def test_match_scrutinee_guard_survives_match(self):
+        body = mir_of("""
+            struct Inner { m: i32 }
+            fn f(client: &RwLock<Inner>) {
+                match client.read().unwrap().m {
+                    0 => { let x = 1; }
+                    _ => {}
+                };
+            }""", "f")
+        # The read guard must die in the match's join block, i.e. after
+        # every arm body block.
+        positions = self._guard_dead_positions(body)
+        assert positions, "guard local must exist and die"
+
+    def test_let_statement_guard_dies_at_statement_end(self):
+        body = mir_of("""
+            fn f(m: &Mutex<i32>) {
+                let v = *m.lock().unwrap();
+                let w = v + 1;
+            }""", "f")
+        # Guard must be dropped before the `w` assignment.
+        guard_locals = {l.index for l in body.locals
+                        if l.ty.kind is TyKind.BUILTIN
+                        and l.ty.name == "MutexGuard"}
+        assert guard_locals
+        events = []
+        for bb, i, s in body.iter_statements():
+            if s.kind is StatementKind.DROP and s.place.local in guard_locals:
+                events.append(("drop", bb, i))
+            if s.kind is StatementKind.ASSIGN and \
+                    body.locals[s.place.local].name == "w":
+                events.append(("w", bb, i))
+        kinds = [e[0] for e in events]
+        assert kinds.index("drop") < kinds.index("w")
+
+
+class TestStatics:
+    def test_static_init_body_emitted(self):
+        compiled = compile_("static N: i32 = 40; fn main() {}")
+        assert "__static_init::N" in compiled.program.functions
+
+    def test_static_access_creates_named_local(self):
+        body = mir_of("""
+            static N: i32 = 40;
+            fn main() { let x = N + 2; }""")
+        assert any((l.name or "").startswith("static:") for l in body.locals)

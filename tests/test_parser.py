@@ -1,0 +1,344 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.diagnostics import CompileError
+from repro.lang.parser import parse_source
+
+
+def parse(text):
+    return parse_source(text)
+
+
+def parse_fn_body(stmts: str) -> ast.Block:
+    crate = parse(f"fn test() {{ {stmts} }}")
+    return crate.items[0].body
+
+
+def first_expr(stmts: str):
+    body = parse_fn_body(stmts)
+    if body.statements:
+        stmt = body.statements[0]
+        if isinstance(stmt, ast.LetStmt):
+            return stmt.init
+        return stmt.expr
+    return body.tail
+
+
+class TestItems:
+    def test_empty_crate(self):
+        assert parse("").items == []
+
+    def test_fn(self):
+        crate = parse("fn f(a: i32, b: bool) -> i32 { a }")
+        fn = crate.items[0]
+        assert isinstance(fn, ast.FnDef)
+        assert fn.name == "f"
+        assert [p.name for p in fn.params] == ["a", "b"]
+        assert fn.ret_ty is not None
+
+    def test_unsafe_fn(self):
+        fn = parse("unsafe fn f() {}").items[0]
+        assert fn.is_unsafe
+
+    def test_struct(self):
+        s = parse("struct P { x: i32, y: i32 }").items[0]
+        assert isinstance(s, ast.StructDef)
+        assert [f.name for f in s.fields] == ["x", "y"]
+
+    def test_tuple_struct(self):
+        s = parse("struct Wrapper(i32, bool);").items[0]
+        assert s.is_tuple
+        assert len(s.fields) == 2
+
+    def test_unit_struct(self):
+        s = parse("struct Marker;").items[0]
+        assert s.fields == []
+
+    def test_generic_struct(self):
+        s = parse("struct Holder<T> { value: T }").items[0]
+        assert s.generics == ["T"]
+
+    def test_enum(self):
+        e = parse("enum E { A, B(i32), C }").items[0]
+        assert isinstance(e, ast.EnumDef)
+        assert [v.name for v in e.variants] == ["A", "B", "C"]
+        assert len(e.variants[1].fields) == 1
+
+    def test_impl(self):
+        crate = parse("struct S; impl S { fn m(&self) {} }")
+        impl = crate.items[1]
+        assert isinstance(impl, ast.ImplBlock)
+        assert impl.name == "S"
+        assert impl.items[0].params[0].is_self
+
+    def test_unsafe_impl_trait(self):
+        impl = parse("struct S; unsafe impl Sync for S {}").items[1]
+        assert impl.is_unsafe
+        assert impl.trait_path.as_str() == "Sync"
+
+    def test_unsafe_trait(self):
+        t = parse("unsafe trait Danger {}").items[0]
+        assert isinstance(t, ast.TraitDef)
+        assert t.is_unsafe
+
+    def test_static(self):
+        s = parse("static COUNT: i32 = 0;").items[0]
+        assert isinstance(s, ast.StaticDef)
+        assert not s.mutability.is_mut
+
+    def test_static_mut(self):
+        s = parse("static mut COUNT: i32 = 0;").items[0]
+        assert s.mutability.is_mut
+
+    def test_use_is_skipped_gracefully(self):
+        crate = parse("use std::sync::Mutex; fn f() {}")
+        assert isinstance(crate.items[0], ast.UseDecl)
+        assert isinstance(crate.items[1], ast.FnDef)
+
+    def test_mod(self):
+        m = parse("mod inner { fn g() {} }").items[0]
+        assert isinstance(m, ast.ModDecl)
+        assert m.items[0].name == "g"
+
+    def test_walk_items_flattens_mods(self):
+        crate = parse("mod a { fn f() {} mod b { fn g() {} } }")
+        names = [i.name for i in crate.walk_items()]
+        assert "f" in names and "g" in names
+
+    def test_attributes_collected(self):
+        fn = parse('#[derive(Debug)]\nfn f() {}').items[0]
+        assert fn.attrs and "derive" in fn.attrs[0]
+
+    def test_error_on_garbage(self):
+        with pytest.raises(CompileError):
+            parse("fn f( {")
+
+
+class TestTypes:
+    def test_nested_generics_shr_split(self):
+        s = parse("struct S { v: Vec<Vec<i32>> }").items[0]
+        ty = s.fields[0].ty
+        assert isinstance(ty, ast.TyPath)
+        inner = ty.path.last.generic_args[0]
+        assert isinstance(inner, ast.TyPath)
+        assert inner.path.last.name == "Vec"
+
+    def test_ref_types(self):
+        s = parse("struct S { a: &i32, b: &mut i32, c: &'a str }").items[0]
+        a, b, c = [f.ty for f in s.fields]
+        assert isinstance(a, ast.TyRef) and not a.mutability.is_mut
+        assert isinstance(b, ast.TyRef) and b.mutability.is_mut
+        assert isinstance(c, ast.TyRef) and c.lifetime == "'a"
+
+    def test_raw_pointer_types(self):
+        s = parse("struct S { a: *const i32, b: *mut u8 }").items[0]
+        a, b = [f.ty for f in s.fields]
+        assert isinstance(a, ast.TyRawPtr) and not a.mutability.is_mut
+        assert isinstance(b, ast.TyRawPtr) and b.mutability.is_mut
+
+    def test_tuple_unit_slice_array(self):
+        s = parse(
+            "struct S { a: (i32, bool), b: (), c: [u8], d: [u8; 4] }"
+        ).items[0]
+        a, b, c, d = [f.ty for f in s.fields]
+        assert isinstance(a, ast.TyTuple)
+        assert isinstance(b, ast.TyUnit)
+        assert isinstance(c, ast.TySlice)
+        assert isinstance(d, ast.TyArray)
+
+    def test_fn_type(self):
+        s = parse("struct S { f: fn(i32) -> bool }").items[0]
+        assert isinstance(s.fields[0].ty, ast.TyFn)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = first_expr("let x = 1 + 2 * 3;")
+        assert isinstance(expr, ast.Binary)
+        assert expr.op is ast.BinOp.ADD
+        assert isinstance(expr.right, ast.Binary)
+        assert expr.right.op is ast.BinOp.MUL
+
+    def test_comparison_below_arith(self):
+        expr = first_expr("let x = 1 + 2 < 4;")
+        assert expr.op is ast.BinOp.LT
+
+    def test_logical_and_or(self):
+        expr = first_expr("let x = a && b || c;")
+        assert expr.op is ast.BinOp.OR
+        assert expr.left.op is ast.BinOp.AND
+
+    def test_unary(self):
+        expr = first_expr("let x = -*p;")
+        assert expr.op is ast.UnOp.NEG
+        assert expr.operand.op is ast.UnOp.DEREF
+
+    def test_cast_chain(self):
+        expr = first_expr("let p = &x as *const i32 as *mut i32;")
+        assert isinstance(expr, ast.Cast)
+        assert isinstance(expr.operand, ast.Cast)
+        assert isinstance(expr.operand.operand, ast.Reference)
+
+    def test_method_chain(self):
+        expr = first_expr("let g = m.lock().unwrap();")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.method == "unwrap"
+        assert expr.receiver.method == "lock"
+
+    def test_field_vs_method(self):
+        expr = first_expr("let v = a.b.c();")
+        assert isinstance(expr, ast.MethodCall)
+        assert isinstance(expr.receiver, ast.FieldAccess)
+
+    def test_tuple_index(self):
+        expr = first_expr("let v = pair.0;")
+        assert isinstance(expr, ast.TupleIndex)
+        assert expr.index == 0
+
+    def test_index(self):
+        expr = first_expr("let v = items[i + 1];")
+        assert isinstance(expr, ast.Index)
+
+    def test_struct_literal(self):
+        expr = first_expr("let p = Point { x: 1, y: 2 };")
+        assert isinstance(expr, ast.StructLiteral)
+        assert [name for name, _ in expr.fields] == ["x", "y"]
+
+    def test_struct_literal_shorthand(self):
+        expr = first_expr("let p = Point { x, y };")
+        assert all(isinstance(v, ast.PathExpr) for _, v in expr.fields)
+
+    def test_struct_literal_forbidden_in_condition(self):
+        # `if x == S { }` must parse the `{}` as the if body.
+        body = parse_fn_body("if x == Limit { return; }")
+        expr = body.statements[0].expr if body.statements else body.tail
+        assert isinstance(expr, ast.If)
+        assert isinstance(expr.condition, ast.Binary)
+
+    def test_range(self):
+        expr = first_expr("let r = 0..10;")
+        assert isinstance(expr, ast.Range)
+        assert not expr.inclusive
+
+    def test_inclusive_range(self):
+        expr = first_expr("let r = 0..=10;")
+        assert expr.inclusive
+
+    def test_turbofish(self):
+        expr = first_expr("let v = Vec::<i32>::new();")
+        assert isinstance(expr, ast.Call)
+        segments = expr.callee.path.segments
+        assert segments[0].generic_args
+
+    def test_macro_vec(self):
+        expr = first_expr("let v = vec![1, 2, 3];")
+        assert isinstance(expr, ast.MacroCall)
+        assert expr.name == "vec"
+        assert len(expr.args) == 3
+
+    def test_macro_vec_repeat(self):
+        expr = first_expr("let v = vec![0u8; 100];")
+        assert expr.repeat is not None
+
+    def test_macro_println_format(self):
+        expr = first_expr('println!("{} {}", a, b);')
+        assert expr.format_string == "{} {}"
+        assert len(expr.args) == 3
+
+    def test_closure(self):
+        expr = first_expr("let f = |a, b| a + b;")
+        assert isinstance(expr, ast.Closure)
+        assert [p for p, _ in expr.params] == ["a", "b"]
+
+    def test_move_closure(self):
+        expr = first_expr("let f = move || x;")
+        assert expr.is_move
+        assert expr.params == []
+
+    def test_try_operator(self):
+        expr = first_expr("let v = fallible()?;")
+        assert isinstance(expr, ast.Try)
+
+    def test_unsafe_block_expr(self):
+        expr = first_expr("let v = unsafe { *p };")
+        assert isinstance(expr, ast.Block)
+        assert expr.is_unsafe
+
+    def test_assignment(self):
+        expr = first_expr("x = y + 1;")
+        assert isinstance(expr, ast.Assign)
+
+    def test_compound_assignment(self):
+        expr = first_expr("x += 1;")
+        assert isinstance(expr, ast.CompoundAssign)
+        assert expr.op is ast.BinOp.ADD
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        expr = first_expr("if a { 1 } else if b { 2 } else { 3 };")
+        assert isinstance(expr, ast.If)
+        assert isinstance(expr.else_branch, ast.If)
+        assert isinstance(expr.else_branch.else_branch, ast.Block)
+
+    def test_if_let(self):
+        expr = first_expr("if let Some(x) = opt { x };")
+        assert isinstance(expr, ast.IfLet)
+        assert isinstance(expr.pattern, ast.PatTupleStruct)
+
+    def test_while_let(self):
+        expr = first_expr("while let Some(x) = it.next() { }")
+        assert isinstance(expr, ast.WhileLet)
+
+    def test_match_arms(self):
+        expr = first_expr("""match v {
+            0 => "zero",
+            1 | 2 => "small",
+            n if n > 100 => "big",
+            _ => "other",
+        };""")
+        assert isinstance(expr, ast.Match)
+        assert len(expr.arms) == 4
+        assert expr.arms[2].guard is not None
+
+    def test_match_range_pattern(self):
+        expr = first_expr("match v { 0..=9 => 1, _ => 0 };")
+        assert isinstance(expr.arms[0].pattern, ast.PatRange)
+
+    def test_for_loop(self):
+        expr = first_expr("for i in 0..10 { }")
+        assert isinstance(expr, ast.For)
+
+    def test_loop_break_continue(self):
+        body = parse_fn_body("loop { if done { break; } continue; }")
+        expr = body.statements[0].expr if body.statements else body.tail
+        assert isinstance(expr, ast.Loop)
+
+    def test_return_with_value(self):
+        expr = first_expr("return 42;")
+        assert isinstance(expr, ast.Return)
+        assert expr.value.value == 42
+
+
+class TestPatterns:
+    def test_destructuring_let(self):
+        body = parse_fn_body("let (a, b) = pair;")
+        assert isinstance(body.statements[0].pattern, ast.PatTuple)
+
+    def test_mut_binding(self):
+        body = parse_fn_body("let mut x = 1;")
+        assert body.statements[0].pattern.mutability.is_mut
+
+    def test_ref_pattern(self):
+        body = parse_fn_body("let &x = r;")
+        assert isinstance(body.statements[0].pattern, ast.PatRef)
+
+    def test_wildcard(self):
+        body = parse_fn_body("let _ = f();")
+        assert isinstance(body.statements[0].pattern, ast.PatWild)
+
+    def test_struct_pattern(self):
+        expr = first_expr("match p { Point { x, y } => x + y };")
+        assert isinstance(expr.arms[0].pattern, ast.PatStruct)

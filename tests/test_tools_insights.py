@@ -1,0 +1,159 @@
+"""Tests for the IDE-annotation tools, fix suggestions, the explicit
+unlock extension, and the insights scorecard."""
+
+from conftest import check, compile_, detectors_named, interp
+
+from repro.study.insights import INSIGHTS, SUGGESTIONS, verify_all_insights
+from repro.tools.annotate import (
+    annotate_critical_sections, annotate_lifetimes,
+)
+from repro.tools.fixes import suggest_fixes
+
+
+LOCKED = """
+fn f(m: &Mutex<i32>) {
+    let g = m.lock().unwrap();
+    print(*g);
+    drop(g);
+    let tail = 1;
+    print(tail);
+}
+"""
+
+FIG8 = """
+struct Inner { m: i32 }
+fn connect(m: i32) -> Result<i32, i32> { Ok(m) }
+fn do_request(client: &RwLock<Inner>) {
+    match connect(client.read().unwrap().m) {
+        Ok(x) => {
+            let mut inner = client.write().unwrap();
+            inner.m = x;
+        }
+        Err(e) => {}
+    };
+}
+"""
+
+
+class TestAnnotate:
+    def test_lifetimes_report_named_vars(self):
+        compiled = compile_(LOCKED)
+        annotated = annotate_lifetimes(compiled, "f")
+        names = {v.name for v in annotated.lifetimes}
+        assert "g" in names and "tail" in names
+
+    def test_lifetime_line_ordering(self):
+        compiled = compile_(LOCKED)
+        annotated = annotate_lifetimes(compiled, "f")
+        for var in annotated.lifetimes:
+            if var.first_line is not None and var.last_line is not None:
+                assert var.first_line <= var.last_line
+
+    def test_guard_drop_line_reported(self):
+        compiled = compile_(LOCKED)
+        annotated = annotate_lifetimes(compiled, "f")
+        guard = next(v for v in annotated.lifetimes if v.name == "g")
+        assert guard.drop_lines   # drop(g) runs drop glue
+
+    def test_critical_sections_highlight_implicit_unlock(self):
+        compiled = compile_(FIG8)
+        annotated = annotate_critical_sections(compiled, "do_request")
+        kinds = {cs.kind for cs in annotated.critical_sections}
+        assert {"read", "write"} <= kinds
+        read = next(cs for cs in annotated.critical_sections
+                    if cs.kind == "read")
+        # The read guard is held across the match arms' lines.
+        assert read.held_lines
+        assert max(read.held_lines) > read.acquire_line
+
+    def test_render_mentions_sections(self):
+        compiled = compile_(FIG8)
+        text = annotate_critical_sections(compiled, "do_request").render()
+        assert "critical section" in text and "implicit unlock" in text
+
+
+class TestExplicitUnlock:
+    """Suggestion 7, implemented as a MiniRust extension."""
+
+    SRC = """
+    fn f(m: &Mutex<i32>) {
+        let g = m.lock().unwrap();
+        g.unlock();
+        let h = m.lock().unwrap();
+        print(*h);
+    }
+    fn main() {
+        let m = Mutex::new(7);
+        f(&m);
+    }
+    """
+
+    def test_static_region_ends_at_unlock(self):
+        assert not detectors_named(check(self.SRC), "double-lock")
+
+    def test_dynamic_unlock_releases(self):
+        result = interp(self.SRC)
+        assert result.ok and result.stdout == ["7"]
+
+    def test_without_unlock_still_detected(self):
+        src = self.SRC.replace("g.unlock();", "")
+        assert detectors_named(check(src), "double-lock")
+        assert interp(src).outcome == "deadlock"
+
+
+class TestFixSuggestions:
+    def test_double_lock_suggestion(self):
+        report = check(FIG8)
+        lines = suggest_fixes(report.findings)
+        assert any("guard" in line and "Figure 8" in line for line in lines)
+
+    def test_every_detector_kind_has_catalogue_entry(self):
+        sources = {
+            "use-after-free": """
+                fn main() {
+                    let v = vec![1];
+                    let p = v.as_ptr();
+                    drop(v);
+                    unsafe { let x = *p; }
+                }""",
+            "invalid-free": """
+                struct F { b: Vec<u8> }
+                unsafe fn g() {
+                    let f = alloc(8) as *mut F;
+                    *f = F { b: vec![0u8; 4] };
+                }""",
+        }
+        for kind, src in sources.items():
+            lines = suggest_fixes(check(src).findings)
+            assert lines
+            assert all("no catalogued strategy" not in l for l in lines)
+
+
+class TestInsights:
+    def test_all_insights_hold(self):
+        scorecard = verify_all_insights()
+        failing = {n: msg for n, (ok, msg) in scorecard.items() if not ok}
+        assert not failing, failing
+
+    def test_eleven_insights_eight_suggestions(self):
+        assert len(INSIGHTS) == 11
+        assert len(SUGGESTIONS) == 8
+
+    def test_insight4_evidence_wording(self):
+        ok, msg = verify_all_insights()[4]
+        assert ok and "69/70" in msg
+
+
+class TestAnnotateDropLines:
+    def test_scope_end_drop_reported_at_scope_end_line(self):
+        src = """fn f() {
+    let v = vec![1];
+    let x = 1;
+    print(x);
+}"""
+        compiled = compile_(src)
+        annotated = annotate_lifetimes(compiled, "f")
+        v = next(var for var in annotated.lifetimes if var.name == "v")
+        # v is dropped at the function's closing brace (line 5), not at
+        # its declaration line.
+        assert v.drop_lines and max(v.drop_lines) >= 4

@@ -1,0 +1,156 @@
+"""Unit tests for the runtime value & memory model (repro.mir.values)."""
+
+import pytest
+
+from repro.mir.values import (
+    MOVED, UNINIT, AllocState, Allocation, BoxValue, DeadlockError,
+    EnumValue, GuardValue, Memory, Pointer, RcValue, RuntimePanic,
+    StructValue, TupleValue, UBError, UBKind, VecValue, deep_copy, err,
+    none, ok, some,
+)
+
+
+class TestMemory:
+    def test_allocate_returns_unique_ids(self):
+        mem = Memory()
+        ids = {mem.allocate(i) for i in range(100)}
+        assert len(ids) == 100
+
+    def test_check_live_on_live(self):
+        mem = Memory()
+        a = mem.allocate(42)
+        assert mem.check_live(a).value == 42
+
+    def test_free_marks_freed(self):
+        mem = Memory()
+        a = mem.allocate(42)
+        mem.free(a)
+        with pytest.raises(UBError) as exc:
+            mem.check_live(a)
+        assert exc.value.kind is UBKind.USE_AFTER_FREE
+
+    def test_double_free_raises(self):
+        mem = Memory()
+        a = mem.allocate(42)
+        mem.free(a)
+        with pytest.raises(UBError) as exc:
+            mem.free(a)
+        assert exc.value.kind is UBKind.DOUBLE_FREE
+
+    def test_dead_stack_distinct_from_freed(self):
+        mem = Memory()
+        a = mem.allocate(1, kind="stack")
+        mem.mark_dead_stack(a)
+        with pytest.raises(UBError) as exc:
+            mem.check_live(a)
+        assert exc.value.kind is UBKind.DANGLING_STACK
+
+    def test_revive_stack_resets_value(self):
+        mem = Memory()
+        a = mem.allocate(1, kind="stack")
+        mem.mark_dead_stack(a)
+        mem.revive_stack(a)
+        assert mem.check_live(a).value is UNINIT
+
+    def test_unknown_allocation(self):
+        mem = Memory()
+        with pytest.raises(UBError):
+            mem.get(9999)
+
+    def test_live_count(self):
+        mem = Memory()
+        a = mem.allocate(1)
+        b = mem.allocate(2)
+        mem.free(a)
+        assert mem.live_count() == 1
+
+    def test_alloc_free_counters(self):
+        mem = Memory()
+        a = mem.allocate(1)
+        mem.free(a)
+        assert mem.allocs == 1 and mem.frees == 1
+
+
+class TestValues:
+    def test_enum_constructors(self):
+        assert some(5).variant_index == 1 and some(5).payload == [5]
+        assert none().variant_index == 0 and none().payload == []
+        assert ok(1).variant_index == 0
+        assert err("e").variant_index == 1
+
+    def test_pointer_extend(self):
+        p = Pointer(3, (1,))
+        q = p.extend("field")
+        assert q.alloc_id == 3 and q.path == (1, "field")
+
+    def test_null_pointer(self):
+        p = Pointer.null_ptr()
+        assert p.null
+
+    def test_struct_index_of(self):
+        s = StructValue("P", [1, 2], ["x", "y"])
+        assert s.index_of("y") == 1
+        assert s.index_of("z") is None
+
+    def test_deep_copy_is_structural(self):
+        s = StructValue("P", [TupleValue([1, 2]), [3, 4]], ["a", "b"])
+        c = deep_copy(s)
+        c.fields[0].elements[0] = 99
+        c.fields[1][0] = 99
+        assert s.fields[0].elements[0] == 1
+        assert s.fields[1][0] == 3
+
+    def test_deep_copy_shares_handles(self):
+        # Handle values (Vec/Box/Rc) stay shared — copying the handle is
+        # exactly the ownership-duplication the detectors look for.
+        v = VecValue(buffer=7)
+        s = StructValue("S", [v], ["v"])
+        c = deep_copy(s)
+        assert c.fields[0] is v
+
+    def test_sentinels_are_singletons(self):
+        from repro.mir.values import _Moved, _Uninit
+        assert _Uninit() is UNINIT
+        assert _Moved() is MOVED
+
+    def test_error_messages(self):
+        e = UBError(UBKind.DOUBLE_FREE, "boom")
+        assert "double-free" in str(e)
+        p = RuntimePanic("bang")
+        assert "panic" in str(p)
+        d = DeadlockError("stuck", {1: "lock 3"})
+        assert "deadlock" in str(d)
+        assert d.waiting == {1: "lock 3"}
+
+
+class TestInterpreterMemoryAccounting:
+    def test_balanced_allocs_and_frees(self):
+        from conftest import interp
+        result = interp("""
+            fn main() {
+                let mut v = Vec::new();
+                for i in 0..10 { v.push(Box::new(i)); }
+                drop(v);
+            }""")
+        assert result.ok
+
+    def test_leak_detection_via_forget(self):
+        from repro.driver import compile_source
+        from repro.mir.interp import Interpreter
+        src_drop = """
+            fn main() {
+                let b = Box::new(1);
+                drop(b);
+            }"""
+        src_forget = """
+            fn main() {
+                let b = Box::new(1);
+                mem::forget(b);
+            }"""
+        dropped = Interpreter(compile_source(src_drop).program)
+        r1 = dropped.run()
+        forgotten = Interpreter(compile_source(src_forget).program)
+        r2 = forgotten.run()
+        assert r1.ok and r2.ok
+        # mem::forget leaks the heap allocation.
+        assert forgotten.memory.frees < dropped.memory.frees
