@@ -6,7 +6,16 @@ EXPERIMENTS.md) and times the generating computation with
 pytest-benchmark.
 """
 
+import pathlib
+import sys
+
 import pytest
+
+# Make `repro` importable when the package is not installed and
+# PYTHONPATH=src was not set (e.g. `python -m pytest benchmarks/...`).
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 
 def emit(title: str, text: str) -> None:

@@ -10,11 +10,15 @@ document the measured gap plus the executed-check counters that explain
 it.
 """
 
+import json
+import pathlib
+
 import pytest
 
 from conftest import emit
 
-from repro.driver import compile_source
+from repro import obs
+from repro.driver import compile_source, run_all_detectors
 from repro.mir.interp import Interpreter, ScheduleConfig
 
 N = 512
@@ -146,3 +150,40 @@ def test_bounds_check_work_is_deterministic(benchmark, programs):
          f"{checked_result.steps / unchecked_result.steps:.2f}x "
          f"(paper: 4-5x wall-clock on real hardware)")
     assert checked_result.steps > unchecked_result.steps
+
+
+BENCH_OBS_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_obs.json"
+
+
+def test_obs_trajectory_artifact():
+    """Run the whole pipeline (compile → detectors → interpret) under the
+    obs collector and write ``BENCH_obs.json`` — the per-phase timing
+    trajectory compared between PRs (see EXPERIMENTS.md)."""
+    with obs.collecting("bench-obs") as collector:
+        compiled = compile_source(CHECKED_SUM, name="bench://checked_sum")
+        report = run_all_detectors(compiled)
+        interp = Interpreter(compiled.program,
+                             schedule=ScheduleConfig(max_steps=10_000_000))
+        result = interp.run()
+    assert result.ok, result.error
+
+    payload = obs.write_json(collector, str(BENCH_OBS_PATH))
+    phases = payload["phases"]
+    # The artifact must carry every front-end phase, the detector pass,
+    # and the interpreter — the floors future perf PRs optimise against.
+    for phase in ("compile", "compile.lex", "compile.parse",
+                  "compile.hir-table", "compile.mir-lower", "detectors",
+                  "interp.run"):
+        assert phase in phases, f"missing phase {phase}"
+        assert phases[phase] >= 0.0
+    assert payload["counters"]["interp.steps"] == result.steps
+    assert not report.findings, "benchmark program must be clean"
+
+    round_trip = json.loads(BENCH_OBS_PATH.read_text())
+    assert round_trip["phases"]["compile"] == phases["compile"]
+    emit("obs trajectory",
+         f"BENCH_obs.json: {len(phases)} phases, "
+         f"compile {phases['compile'] * 1e3:.2f}ms, "
+         f"detectors {phases['detectors'] * 1e3:.2f}ms, "
+         f"interp {phases['interp.run'] * 1e3:.2f}ms")

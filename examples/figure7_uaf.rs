@@ -1,0 +1,12 @@
+// Figure 7 (§7.1): a raw pointer outliving its heap allocation.
+// Try:
+//   minirust check   examples/figure7_uaf.rs --profile
+//   minirust explain examples/figure7_uaf.rs
+//   minirust stats   examples/figure7_uaf.rs --json
+
+fn main() {
+    let v: Vec<i32> = Vec::new();
+    let p: *const i32 = v.as_ptr();
+    drop(v);
+    unsafe { print(*p); }
+}

@@ -1,0 +1,19 @@
+// Figure 8 (§7.2): re-acquiring a Mutex while its guard is still live —
+// Rust's implicit unlock has not run, so this self-deadlocks.
+// Try:
+//   minirust check   examples/figure8_double_lock.rs --profile
+//   minirust explain examples/figure8_double_lock.rs
+//   minirust run     examples/figure8_double_lock.rs   (deadlocks dynamically)
+
+static STATE: Mutex<i32> = Mutex::new(0);
+
+fn bump() {
+    let mut g = STATE.lock().unwrap();
+    *g += 1;
+}
+
+fn main() {
+    let snapshot = STATE.lock().unwrap();
+    bump();
+    print(*snapshot);
+}

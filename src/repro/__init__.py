@@ -37,6 +37,7 @@ Quickstart::
         print(finding.render())
 """
 
+from repro import obs
 from repro.driver import (
     CompiledProgram,
     compile_file,
@@ -46,7 +47,7 @@ from repro.driver import (
 )
 from repro.detectors.report import Finding, Report
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledProgram",
@@ -56,5 +57,6 @@ __all__ = [
     "run_detectors",
     "Finding",
     "Report",
+    "obs",
     "__version__",
 ]

@@ -2,12 +2,18 @@
 
 Subcommands::
 
-    minirust check FILE [--detector NAME]...   run static detectors
+    minirust check FILE [--detector NAME]... [--json] [--profile]
+                                               run static detectors
+    minirust explain FILE                      findings + provenance trails
     minirust run FILE [--seed N] [--races]     interpret (Miri-like)
     minirust mir FILE [--fn NAME]              dump MIR
     minirust scan FILE...                      §4 unsafe-usage scan
     minirust tables [--table N|all]            regenerate study tables
     minirust corpus [--scale N] [--seed N]     corpus + detector evaluation
+    minirust stats FILE [--json]               full-pipeline obs dump
+
+Exit codes are uniform: 0 clean, 1 findings / failed run, 2 usage or
+compile error.
 """
 
 from __future__ import annotations
@@ -17,33 +23,93 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.driver import (
     compile_file, compile_source, run_all_detectors, run_detectors,
 )
 from repro.lang.diagnostics import CompileError
 
 
-def _cmd_check(args) -> int:
+def _selected_detectors(args):
+    """Resolve ``--detector`` names to instances, or None for all.
+
+    Raises ``SystemExit``-free usage errors by returning the string name
+    that failed to resolve.
+    """
+    if not getattr(args, "detector", None):
+        return None, None
+    from repro.detectors.registry import detector_by_name
+    detectors = []
+    for name in args.detector:
+        cls = detector_by_name(name)
+        if cls is None:
+            return None, name
+        detectors.append(cls())
+    return detectors, None
+
+
+def _check_report(args):
     compiled = compile_file(args.file)
-    if args.detector:
-        from repro.detectors.registry import detector_by_name
-        detectors = []
-        for name in args.detector:
-            cls = detector_by_name(name)
-            if cls is None:
-                print(f"unknown detector: {name}", file=sys.stderr)
-                return 2
-            detectors.append(cls())
-        report = run_detectors(compiled, detectors)
+    detectors, bad_name = _selected_detectors(args)
+    if bad_name is not None:
+        print(f"unknown detector: {bad_name}", file=sys.stderr)
+        return None
+    if detectors is not None:
+        return run_detectors(compiled, detectors)
+    return run_all_detectors(compiled)
+
+
+def _cmd_check(args) -> int:
+    report = _check_report(args)
+    if report is None:
+        return 2
+    if args.json:
+        payload = report.to_dict()
+        collector = obs.get_collector()
+        if collector is not None:
+            payload["profile"] = collector.to_dict()
+        print(json.dumps(payload, indent=2))
     else:
+        print(report.render())
+        if args.advice and report.findings:
+            from repro.tools.fixes import suggest_fixes
+            print("\nsuggested fixes:")
+            for line in suggest_fixes(report.findings):
+                print("  " + line)
+    return 1 if report.findings else 0
+
+
+def _cmd_explain(args) -> int:
+    report = _check_report(args)
+    if report is None:
+        return 2
+    print(report.explain())
+    return 1 if report.findings else 0
+
+
+def _cmd_stats(args) -> int:
+    """Run the full static pipeline under a collector and dump the obs
+    trace: per-phase spans, analysis cache counters, detector timings."""
+    installed_here = obs.get_collector() is None
+    collector = obs.get_collector() or obs.install("minirust-stats")
+    try:
+        compiled = compile_file(args.file)
         report = run_all_detectors(compiled)
-    print(report.render())
-    if args.advice and report.findings:
-        from repro.tools.fixes import suggest_fixes
-        print("\nsuggested fixes:")
-        for line in suggest_fixes(report.findings):
-            print("  " + line)
-    return 1 if report.errors else 0
+        if args.run:
+            from repro.mir.interp import ScheduleConfig, run_program
+            run_program(compiled.program, schedule=ScheduleConfig())
+        if args.json:
+            payload = collector.to_dict()
+            payload["phases"] = obs.phase_timings(collector)
+            payload["report"] = report.to_dict()
+            print(json.dumps(payload, indent=2))
+        else:
+            print(collector.render())
+            print(f"-- findings: {len(report.findings)}")
+    finally:
+        if installed_here:
+            obs.uninstall()
+    return 0
 
 
 def _cmd_run(args) -> int:
@@ -195,7 +261,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--detector", action="append", default=[])
     p.add_argument("--advice", action="store_true",
                    help="print the paper's fix strategy for each finding")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report (and profile, if any) as JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="print the phase/detector timing tree")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("explain", help="findings with their provenance "
+                                       "trails")
+    p.add_argument("file")
+    p.add_argument("--detector", action="append", default=[])
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("run", help="interpret a program (Miri-like)")
     p.add_argument("file")
@@ -203,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--quantum", type=int, default=10)
     p.add_argument("--races", action="store_true")
+    p.add_argument("--profile", action="store_true",
+                   help="print interpreter timing and step counters")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("annotate", help="IDE-style lifetime and "
@@ -229,11 +307,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                                       "detectors")
     p.add_argument("--scale", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", action="store_true",
+                   help="print corpus generation/evaluation timings")
     p.set_defaults(func=_cmd_corpus)
 
+    p = sub.add_parser("stats", help="run the pipeline under the obs "
+                                     "collector and dump its trace")
+    p.add_argument("file")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--run", action="store_true",
+                   help="also interpret the program")
+    p.set_defaults(func=_cmd_stats)
+
     args = parser.parse_args(argv)
+    # `--profile` turns on the obs collector for the whole command; the
+    # timing tree prints after the command's own output (inside the JSON
+    # payload when `--json` is also given).
+    profiling = getattr(args, "profile", False)
+    collector = obs.install("minirust") if profiling else None
     try:
-        return args.func(args)
+        code = args.func(args)
+        if collector is not None and not getattr(args, "json", False):
+            print(collector.render())
+        return code
     except CompileError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -247,6 +343,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if collector is not None:
+            obs.uninstall()
 
 
 if __name__ == "__main__":

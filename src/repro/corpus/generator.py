@@ -108,6 +108,17 @@ def generate_corpus(seed: int = 0, scale: int = 1,
                     profiles: Optional[Dict[str, AppProfile]] = None
                     ) -> Corpus:
     """Generate the synthetic corpus deterministically."""
+    from repro import obs
+    with obs.span("corpus.generate", seed=seed, scale=scale):
+        corpus = _generate_corpus(seed, scale, profiles)
+    obs.count("corpus.programs_generated", len(corpus.files))
+    obs.count("corpus.bugs_injected", len(corpus.injected))
+    obs.count("corpus.loc", corpus.total_loc)
+    return corpus
+
+
+def _generate_corpus(seed: int, scale: int,
+                     profiles: Optional[Dict[str, AppProfile]]) -> Corpus:
     rng = random.Random(seed)
     profiles = profiles or APP_PROFILES
     corpus = Corpus(seed=seed, scale=scale)
@@ -208,6 +219,7 @@ def evaluate_detectors(corpus: Corpus,
     Findings in files with no injection (or from unexpected detectors in
     clean functions) count as false positives.
     """
+    from repro import obs
     from repro.detectors.registry import run_detectors
     from repro.driver import compile_source
 
@@ -222,27 +234,34 @@ def evaluate_detectors(corpus: Corpus,
     for bug in corpus.injected:
         score_for(bug.template.detector).injected += 1
 
-    for file in corpus.files:
-        compiled = compile_source(file.text, name=file.name)
-        report = run_detectors(compiled.program,
-                               detectors=detectors,
-                               source=compiled.source)
-        result.total_findings += len(report.findings)
-        matched_bugs = set()
-        for finding in report.findings:
-            matched = False
+    with obs.span("corpus.evaluate", files=len(corpus.files)):
+        for file in corpus.files:
+            compiled = compile_source(file.text, name=file.name)
+            report = run_detectors(compiled.program,
+                                   detectors=detectors,
+                                   source=compiled.source)
+            obs.count("corpus.programs_evaluated")
+            result.total_findings += len(report.findings)
+            matched_bugs = set()
+            for finding in report.findings:
+                matched = False
+                for bug in file.injected:
+                    suffix = bug.fn_name[len("bug_"):]
+                    if finding.detector == bug.template.detector and \
+                            suffix in finding.fn_key:
+                        if id(bug) not in matched_bugs:
+                            matched_bugs.add(id(bug))
+                            score_for(finding.detector).found += 1
+                        matched = True
+                        break
+                if not matched:
+                    score_for(finding.detector).false_positives += 1
             for bug in file.injected:
-                suffix = bug.fn_name[len("bug_"):]
-                if finding.detector == bug.template.detector and \
-                        suffix in finding.fn_key:
-                    if id(bug) not in matched_bugs:
-                        matched_bugs.add(id(bug))
-                        score_for(finding.detector).found += 1
-                    matched = True
-                    break
-            if not matched:
-                score_for(finding.detector).false_positives += 1
-        for bug in file.injected:
-            if id(bug) not in matched_bugs:
-                score_for(bug.template.detector).missed.append(bug.fn_name)
+                if id(bug) not in matched_bugs:
+                    score_for(bug.template.detector).missed.append(
+                        bug.fn_name)
+    for score in scores.values():
+        obs.count("corpus.bugs_recalled", score.found)
+        obs.count("corpus.false_positives", score.false_positives)
+    obs.count("corpus.findings", result.total_findings)
     return result

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.analysis.callgraph import CallGraph, build_call_graph
 from repro.analysis.init import compute_init
 from repro.analysis.lifetime import (
@@ -18,51 +19,78 @@ from repro.mir.nodes import Body, Program
 
 
 class AnalysisContext:
-    """Caches per-body and per-program analyses so detectors share work."""
+    """Caches per-body and per-program analyses so detectors share work.
+
+    Every pass records an obs cache hit/miss counter and runs its compute
+    under an ``analysis.<pass>`` span, so ``--profile`` shows where the
+    static-analysis time goes and how well the cache amortises it.
+
+    Cache keys are tuples (``(body.key, include_try)`` for guard
+    regions), never concatenated strings — a body literally named
+    ``foo#try`` must not collide with the cached try-variant of ``foo``.
+    """
 
     def __init__(self, program: Program) -> None:
         self.program = program
         self._points_to: Dict[str, PointsTo] = {}
-        self._guard_regions: Dict[str, List[GuardRegion]] = {}
+        self._guard_regions: Dict[Tuple[str, bool], List[GuardRegion]] = {}
         self._storage_ranges: Dict[str, StorageRanges] = {}
         self._init_states: Dict[str, dict] = {}
         self._call_graph: Optional[CallGraph] = None
         self._return_summaries: Optional[Dict[str, set]] = None
 
+    def _lookup(self, cache: Dict, key, pass_name: str, compute):
+        hit = cache.get(key)
+        if hit is not None:
+            obs.count(f"analysis.{pass_name}.hit")
+            return hit
+        obs.count(f"analysis.{pass_name}.miss")
+        with obs.span(f"analysis.{pass_name}"):
+            value = compute()
+        cache[key] = value
+        return value
+
     @property
     def return_summaries(self) -> Dict[str, set]:
         if self._return_summaries is None:
-            self._return_summaries = compute_return_summaries(self.program)
+            obs.count("analysis.return_summaries.miss")
+            with obs.span("analysis.return_summaries"):
+                self._return_summaries = compute_return_summaries(
+                    self.program)
+        else:
+            obs.count("analysis.return_summaries.hit")
         return self._return_summaries
 
     def points_to(self, body: Body) -> PointsTo:
-        if body.key not in self._points_to:
-            self._points_to[body.key] = compute_points_to(
-                body, self.return_summaries)
-        return self._points_to[body.key]
+        return self._lookup(
+            self._points_to, body.key, "points_to",
+            lambda: compute_points_to(body, self.return_summaries))
 
     def guard_regions(self, body: Body,
                       include_try: bool = False) -> List[GuardRegion]:
-        cache_key = body.key + ("#try" if include_try else "")
-        if cache_key not in self._guard_regions:
-            self._guard_regions[cache_key] = compute_guard_regions(
-                body, self.points_to(body), include_try=include_try)
-        return self._guard_regions[cache_key]
+        return self._lookup(
+            self._guard_regions, (body.key, include_try), "guard_regions",
+            lambda: compute_guard_regions(
+                body, self.points_to(body), include_try=include_try))
 
     def storage_ranges(self, body: Body) -> StorageRanges:
-        if body.key not in self._storage_ranges:
-            self._storage_ranges[body.key] = compute_storage_ranges(body)
-        return self._storage_ranges[body.key]
+        return self._lookup(
+            self._storage_ranges, body.key, "storage_ranges",
+            lambda: compute_storage_ranges(body))
 
     def init_states(self, body: Body) -> dict:
-        if body.key not in self._init_states:
-            self._init_states[body.key] = compute_init(body)
-        return self._init_states[body.key]
+        return self._lookup(
+            self._init_states, body.key, "init_states",
+            lambda: compute_init(body))
 
     @property
     def call_graph(self) -> CallGraph:
         if self._call_graph is None:
-            self._call_graph = build_call_graph(self.program)
+            obs.count("analysis.call_graph.miss")
+            with obs.span("analysis.call_graph"):
+                self._call_graph = build_call_graph(self.program)
+        else:
+            obs.count("analysis.call_graph.hit")
         return self._call_graph
 
 

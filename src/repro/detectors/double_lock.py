@@ -26,6 +26,7 @@ from repro.analysis.lifetime import (
 )
 from repro.detectors.base import AnalysisContext, Detector
 from repro.detectors.report import Finding, Severity
+from repro.obs.provenance import fact
 from repro.hir.builtins import BuiltinOp, FuncKind
 from repro.mir.nodes import Body, TerminatorKind
 
@@ -74,6 +75,7 @@ class DoubleLockDetector(Detector):
                     continue
                 if not _kinds_conflict(region.kind, second_kind):
                     continue
+                shared_ids = second_ids & region.lock_ids
                 findings.append(Finding(
                     detector=self.name, kind="double-lock",
                     message=(f"lock acquired by `{term.func.name}` while the "
@@ -84,7 +86,24 @@ class DoubleLockDetector(Detector):
                     metadata={"first": region.kind, "second": second_kind,
                               "acquire_block": region.acquire_block,
                               "reacquire_block": bb,
-                              "interprocedural": False}))
+                              "interprocedural": False},
+                    provenance=[
+                        fact("guard-region",
+                             f"lifetime analysis: guard from "
+                             f"`{region.op.value}` (kind {region.kind}) "
+                             f"acquired in block {region.acquire_block} is "
+                             f"still live at block {bb}",
+                             acquire_block=region.acquire_block,
+                             lock_kind=region.kind, op=region.op),
+                        fact("lock-identity",
+                             f"points-to analysis: both acquisitions "
+                             f"resolve to the same lock",
+                             shared=shared_ids),
+                        fact("reacquire",
+                             f"second acquisition `{term.func.name}` "
+                             f"(kind {second_kind}) at block {bb} conflicts "
+                             f"with the held {region.kind} guard",
+                             block=bb, lock_kind=second_kind)]))
             # Inter-procedural: a call inside the region to a function that
             # (transitively) locks the same lock.
             if graph is None:
@@ -124,7 +143,26 @@ class DoubleLockDetector(Detector):
                         metadata={"first": region.kind,
                                   "second": lock_kind,
                                   "callee": callee,
-                                  "interprocedural": True}))
+                                  "interprocedural": True},
+                        provenance=[
+                            fact("guard-region",
+                                 f"lifetime analysis: guard from "
+                                 f"`{region.op.value}` (kind {region.kind}) "
+                                 f"acquired in block "
+                                 f"{region.acquire_block} covers the call "
+                                 f"at block {bb}",
+                                 acquire_block=region.acquire_block,
+                                 lock_kind=region.kind, op=region.op),
+                            fact("lock-summary",
+                                 f"call-graph lock summary: `{callee}` "
+                                 f"(transitively) acquires a {lock_kind} "
+                                 f"lock",
+                                 callee=callee, lock_kind=lock_kind,
+                                 summary_entry=lock),
+                            fact("lock-identity",
+                                 f"points-to analysis: the callee's lock "
+                                 f"resolves to the caller's held lock",
+                                 shared=caller_ids & region.lock_ids)]))
                     break
         return findings
 

@@ -61,11 +61,23 @@ def detector_by_name(name: str) -> Optional[Type[Detector]]:
 
 def run_detectors(program, detectors: Optional[List[Detector]] = None,
                   source=None) -> Report:
-    """Run detectors over a MIR program and return a deduplicated report."""
+    """Run detectors over a MIR program and return a deduplicated report.
+
+    Each detector runs under its own ``detector.<name>`` span with a
+    findings counter, so ``--profile`` breaks the check time down
+    per-detector and per shared-analysis pass.
+    """
+    from repro import obs
     if detectors is None:
         detectors = [cls() for cls in ALL_DETECTORS]
     ctx = AnalysisContext(program)
     report = Report(source=source)
-    for detector in detectors:
-        report.extend(detector.run(ctx))
-    return report.dedup()
+    with obs.span("detectors"):
+        for detector in detectors:
+            with obs.span(f"detector.{detector.name}"):
+                found = detector.run(ctx)
+            obs.count(f"detector.{detector.name}.findings", len(found))
+            report.extend(found)
+    deduped = report.dedup()
+    obs.count("detectors.findings", len(deduped.findings))
+    return deduped

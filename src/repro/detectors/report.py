@@ -26,6 +26,10 @@ class Finding:
     span: Span = Span.DUMMY
     severity: Severity = Severity.ERROR
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Ordered analysis facts justifying the report (see
+    #: :mod:`repro.obs.provenance`); empty when a detector predates the
+    #: provenance machinery.
+    provenance: List[Dict[str, object]] = field(default_factory=list)
 
     def render(self, source: Optional[SourceFile] = None) -> str:
         loc = ""
@@ -35,9 +39,39 @@ class Finding:
         return (f"[{self.detector}] {self.severity.value}: {self.message} "
                 f"(in `{self.fn_key}`{loc})")
 
+    def explain(self, source: Optional[SourceFile] = None) -> str:
+        """The finding plus its provenance trail, one fact per line."""
+        from repro.obs.provenance import render_facts
+        lines = [self.render(source)]
+        if self.provenance:
+            lines.append("  because:")
+            lines.extend(render_facts(self.provenance, indent="    "))
+        else:
+            lines.append("  (no provenance recorded)")
+        return "\n".join(lines)
+
     def dedup_key(self) -> tuple:
         return (self.detector, self.kind, self.fn_key, self.span.lo,
                 self.span.hi)
+
+    def to_dict(self, source: Optional[SourceFile] = None) -> Dict[str, object]:
+        from repro.obs.provenance import jsonable
+        out: Dict[str, object] = {
+            "detector": self.detector,
+            "kind": self.kind,
+            "severity": self.severity.value,
+            "message": self.message,
+            "fn": self.fn_key,
+            "metadata": jsonable(self.metadata),
+            "provenance": jsonable(self.provenance),
+        }
+        if not self.span.is_dummy:
+            out["span"] = {"lo": self.span.lo, "hi": self.span.hi}
+            if source is not None:
+                line, col = source.line_col(self.span.lo)
+                out["location"] = {"file": source.name, "line": line,
+                                   "col": col}
+        return out
 
 
 @dataclass
@@ -87,6 +121,22 @@ class Report:
         if not self.findings:
             return "no findings"
         return "\n".join(f.render(self.source) for f in self.findings)
+
+    def explain(self) -> str:
+        if not self.findings:
+            return "no findings"
+        return "\n".join(f.explain(self.source) for f in self.findings)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable report, shared by ``--json`` and the obs
+        exporters."""
+        return {
+            "source": self.source.name if self.source is not None else None,
+            "findings": [f.to_dict(self.source) for f in self.findings],
+            "counts": self.counts(),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+        }
 
     def __len__(self) -> int:
         return len(self.findings)

@@ -264,9 +264,22 @@ class UseAfterFreeDetector(Detector):
 
     def _check_pointer(self, ctx, body, pt, ranges, freed_state,
                        pointer: int, point, span, reason: str) -> List[Finding]:
+        from repro.obs.provenance import fact
         findings: List[Finding] = []
         pointer_name = body.locals[pointer].name or f"_{pointer}"
+
+        def use_fact():
+            return fact("pointer-use",
+                        f"`{pointer_name}` {reason} at block {point[0]}, "
+                        f"statement {point[1]}",
+                        fn=body.key, point=point)
+
         for target in pt.targets(pointer):
+            target_desc = " ".join(str(part) for part in target)
+            edge = fact("points-to",
+                        f"points-to analysis: `{pointer_name}` may point "
+                        f"to {target_desc}",
+                        pointer=pointer_name, target=target)
             if target[0] == "local":
                 local = target[1]
                 if body.locals[local].is_arg:
@@ -280,7 +293,14 @@ class UseAfterFreeDetector(Detector):
                                  f"dead (pointer outlived the value)"),
                         fn_key=body.key, span=span,
                         metadata={"pointer": pointer, "target": local,
-                                  "mode": "storage-dead"}))
+                                  "mode": "storage-dead"},
+                        provenance=[
+                            edge,
+                            fact("storage-dead",
+                                 f"storage-range analysis: `{target_name}`'s "
+                                 f"StorageDead precedes this point",
+                                 local=target_name, point=point),
+                            use_fact()]))
                 elif ("dropped", local) in freed_state:
                     target_name = body.locals[local].name or f"_{local}"
                     findings.append(Finding(
@@ -289,7 +309,14 @@ class UseAfterFreeDetector(Detector):
                                  f"`{target_name}` was dropped"),
                         fn_key=body.key, span=span,
                         metadata={"pointer": pointer, "target": local,
-                                  "mode": "dropped"}))
+                                  "mode": "dropped"},
+                        provenance=[
+                            edge,
+                            fact("freed-state",
+                                 f"may-freed dataflow: `{target_name}` was "
+                                 f"dropped on a path reaching this point",
+                                 state="dropped", local=target_name),
+                            use_fact()]))
             elif target[0] == "heap":
                 if ("heap", target[1]) in freed_state:
                     findings.append(Finding(
@@ -298,7 +325,15 @@ class UseAfterFreeDetector(Detector):
                                  f"its heap allocation was freed"),
                         fn_key=body.key, span=span,
                         metadata={"pointer": pointer, "site": target[1],
-                                  "mode": "heap-freed"}))
+                                  "mode": "heap-freed"},
+                        provenance=[
+                            edge,
+                            fact("freed-state",
+                                 f"may-freed dataflow: allocation site "
+                                 f"{target[1]} is freed on a path reaching "
+                                 f"this point",
+                                 state="heap-freed", site=target[1]),
+                            use_fact()]))
         return findings
 
 
@@ -331,12 +366,22 @@ class DanglingReturnDetector(Detector):
             if (info.name or "").startswith("static:"):
                 continue
             name = info.name or f"_{local}"
+            from repro.obs.provenance import fact
             findings.append(Finding(
                 detector=self.name, kind="dangling-return",
                 message=(f"returns a raw pointer into local `{name}`, "
                          f"whose stack storage dies when the function "
                          f"returns"),
                 fn_key=body.key, span=body.span,
-                metadata={"local": local}))
+                metadata={"local": local},
+                provenance=[
+                    fact("points-to",
+                         f"points-to analysis: the return place may point "
+                         f"to local `{name}`",
+                         pointer="_0", target=("local", local)),
+                    fact("frame-death",
+                         f"`{name}` lives in `{body.key}`'s own stack "
+                         f"frame, which dies at return",
+                         fn=body.key, local=name)]))
             break
         return findings

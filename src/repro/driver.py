@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.detectors.registry import run_detectors as _run
 from repro.detectors.report import Report
 from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.lexer import Lexer
 from repro.lang.parser import Parser
 from repro.lang.source import SourceFile
 from repro.mir.build import ProgramBuilder
@@ -48,11 +50,19 @@ def compile_source(text: str, name: str = "<input>",
     bounds-check sequence (the §4.1 perf-comparison build).
     """
     source = SourceFile(name, text)
-    crate = Parser(source).parse_crate(name=name)
-    sink = DiagnosticSink(source)
-    table = build_item_table(crate, sink)
-    program = ProgramBuilder(
-        table, source, emit_bounds_checks=emit_bounds_checks).build()
+    with obs.span("compile", file=name):
+        with obs.span("lex"):
+            tokens = Lexer(source).tokenize()
+        obs.count("compile.tokens", len(tokens))
+        with obs.span("parse"):
+            crate = Parser(source, tokens=tokens).parse_crate(name=name)
+        sink = DiagnosticSink(source)
+        with obs.span("hir-table"):
+            table = build_item_table(crate, sink)
+        with obs.span("mir-lower"):
+            program = ProgramBuilder(
+                table, source, emit_bounds_checks=emit_bounds_checks).build()
+        obs.count("compile.functions", len(program.functions))
     return CompiledProgram(source=source, crate=crate, program=program,
                            diagnostics=sink)
 

@@ -70,9 +70,11 @@ _EXPR_START = {
 class Parser:
     """Parses one :class:`SourceFile` into a :class:`~repro.lang.ast_nodes.Crate`."""
 
-    def __init__(self, source: SourceFile) -> None:
+    def __init__(self, source: SourceFile,
+                 tokens: Optional[List[Token]] = None) -> None:
         self.source = source
-        self.tokens = Lexer(source).tokenize()
+        self.tokens = tokens if tokens is not None else \
+            Lexer(source).tokenize()
         self.pos = 0
         self.no_struct_depth = 0   # >0 → struct literals disallowed
 

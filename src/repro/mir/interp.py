@@ -159,6 +159,7 @@ class Interpreter:
         self.statics: Dict[str, int] = {}
         self.stdout: List[str] = []
         self.steps = 0
+        self.context_switches = 0
         self.races: List[RaceRecord] = []
         self._next_obj_id = 1
         self._race_log: Dict[int, Dict[int, Tuple[bool, frozenset, int]]] = {}
@@ -183,10 +184,13 @@ class Interpreter:
         body = self.program.functions.get(entry)
         if body is None:
             raise ValueError(f"no function named {entry!r}")
+        from repro import obs
+        obs.gauge("interp.schedule_seed", self.schedule.seed)
         try:
-            self._init_statics()
-            main_thread = self._spawn_thread(body, list(args or []))
-            self._scheduler_loop()
+            with obs.span("interp.run", entry=entry):
+                self._init_statics()
+                main_thread = self._spawn_thread(body, list(args or []))
+                self._scheduler_loop()
         except UBError as exc:
             return self._result("ub", error=exc)
         except RuntimePanic as exc:
@@ -207,6 +211,13 @@ class Interpreter:
 
     def _result(self, outcome: str, value: Any = None,
                 error: Optional[InterpError] = None) -> RunResult:
+        from repro import obs
+        obs.count("interp.steps", self.steps)
+        obs.count("interp.context_switches", self.context_switches)
+        obs.count("interp.threads", len(self.threads))
+        obs.count("interp.bounds_checks", self.bounds_checks)
+        obs.count("interp.unchecked_accesses", self.unchecked_accesses)
+        obs.count(f"interp.outcome.{outcome}")
         return RunResult(outcome=outcome, value=value, error=error,
                          stdout=list(self.stdout), steps=self.steps,
                          races=list(self.races),
@@ -303,6 +314,7 @@ class Interpreter:
     def _scheduler_loop(self) -> None:
         round_index = 0
         current = 0
+        last_tid: Optional[int] = None
         while True:
             alive = [t for t in self.threads if t.alive]
             if not alive:
@@ -316,6 +328,9 @@ class Interpreter:
                               for tid, why in waiting.items()),
                     waiting)
             thread = runnable[(current + self.schedule.seed) % len(runnable)]
+            if last_tid is not None and thread.thread_id != last_tid:
+                self.context_switches += 1
+            last_tid = thread.thread_id
             quantum = self.schedule.quantum_for(round_index)
             for _ in range(quantum):
                 if thread.state is not ThreadState.RUNNABLE:

@@ -1,0 +1,110 @@
+"""``repro.obs`` — pipeline-wide tracing, metrics, and finding provenance.
+
+Every layer of the pipeline (front-end phases, the shared analysis
+cache, each detector, the MIR interpreter, corpus evaluation) calls the
+module-level helpers here::
+
+    from repro import obs
+
+    with obs.span("parse"):
+        ...
+    obs.count("analysis.points_to.miss")
+    obs.gauge("interp.schedule_seed", 3)
+    obs.observe("detector.latency_s", 0.004)
+
+By default **no collector is installed** and every helper is a no-op
+fast path (one global read, no allocation), so instrumented code runs at
+seed speed.  ``--profile`` / ``minirust stats`` / the benchmarks install
+a :class:`Collector` via :func:`install` or the :func:`collecting`
+context manager and then export the trace as a pretty tree or JSON.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Union
+
+from repro.obs.core import (
+    Collector, Histogram, NOOP_SPAN, NoopSpan, SpanRecord,
+)
+from repro.obs.export import (
+    phase_timings, render_text, to_json, write_json,
+)
+from repro.obs.provenance import fact, jsonable, render_facts
+
+__all__ = [
+    "Collector", "Histogram", "NoopSpan", "NOOP_SPAN", "SpanRecord",
+    "collecting", "count", "enabled", "fact", "gauge", "get_collector",
+    "install", "jsonable", "observe", "phase_timings", "render_facts",
+    "render_text", "span", "to_json", "uninstall", "write_json",
+]
+
+#: The process-wide active collector; ``None`` means disabled.
+_active: Optional[Collector] = None
+
+
+def get_collector() -> Optional[Collector]:
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def install(name_or_collector: Union[str, Collector] = "repro") -> Collector:
+    """Install (and return) the process-wide collector."""
+    global _active
+    if isinstance(name_or_collector, Collector):
+        _active = name_or_collector
+    else:
+        _active = Collector(name_or_collector)
+    return _active
+
+
+def uninstall() -> Optional[Collector]:
+    """Remove the active collector (returning it) — back to no-op mode."""
+    global _active
+    collector, _active = _active, None
+    return collector
+
+
+@contextmanager
+def collecting(name: str = "repro") -> Iterator[Collector]:
+    """Scoped collection: install a fresh collector, restore the previous
+    one (usually ``None``) on exit."""
+    global _active
+    previous = _active
+    collector = Collector(name)
+    _active = collector
+    try:
+        yield collector
+    finally:
+        _active = previous
+
+
+# -- instrumentation fast paths ---------------------------------------------
+
+def span(name: str, **attrs: Any):
+    """Open a (context-manager) span, or the shared no-op when disabled."""
+    collector = _active
+    if collector is None:
+        return NOOP_SPAN
+    return collector.span(name, **attrs)
+
+
+def count(name: str, n: float = 1) -> None:
+    collector = _active
+    if collector is not None:
+        collector.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    collector = _active
+    if collector is not None:
+        collector.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    collector = _active
+    if collector is not None:
+        collector.observe(name, value)

@@ -1,0 +1,217 @@
+"""Tracing and metrics core: spans, counters, gauges, histograms.
+
+The design point is the ROADMAP's: this substrate must cost (almost)
+nothing when nobody is looking.  All instrumentation goes through the
+module-level helpers in :mod:`repro.obs`; when no :class:`Collector` is
+installed they hand back a shared no-op span / return immediately, so
+the tier-1 suite runs at seed speed.  When a collector *is* installed
+(``--profile``, ``minirust stats``, the benchmark harness) every span
+carries wall time from :func:`time.perf_counter` and nests under its
+parent, giving the phase tree the exporters render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span in the trace tree."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds, 0.0 while the span is still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus time attributed to child spans."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration,
+            "self_s": self.self_time,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def find(self, name: str) -> Optional["SpanRecord"]:
+        """Depth-first lookup of a descendant (or self) by span name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+
+class _SpanHandle:
+    """Context manager tying one :class:`SpanRecord` to a collector stack."""
+
+    __slots__ = ("_collector", "_record")
+
+    def __init__(self, collector: "Collector", record: SpanRecord) -> None:
+        self._collector = collector
+        self._record = record
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        self._record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._collector._push(self._record)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._record.end = perf_counter()
+        self._collector._pop(self._record)
+        return False
+
+
+class NoopSpan:
+    """Shared, stateless stand-in returned while collection is disabled.
+
+    Reentrant and reusable: it records nothing, so one instance serves
+    every call site.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = NoopSpan()
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max + samples)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+    #: First N raw samples, enough for test assertions and percentile-ish
+    #: eyeballing without unbounded memory.
+    samples: List[float] = field(default_factory=list)
+    sample_cap: int = 256
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self.samples) < self.sample_cap:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean}
+
+
+class Collector:
+    """Process-wide sink for spans and metrics.
+
+    A collector owns a stack of open spans (so ``span()`` calls nest), a
+    forest of completed root spans, and three metric families keyed by
+    dotted names (``analysis.points_to.hit``).
+    """
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        self.roots: List[SpanRecord] = []
+        self._stack: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        record = SpanRecord(name=name, start=perf_counter(),
+                            attrs=dict(attrs))
+        return _SpanHandle(self, record)
+
+    def _push(self, record: SpanRecord) -> None:
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.roots.append(record)
+        self._stack.append(record)
+
+    def _pop(self, record: SpanRecord) -> None:
+        # Tolerate mismatched exits (a span leaked across an exception):
+        # unwind to the matching record instead of corrupting the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is record:
+                break
+
+    @property
+    def current_span(self) -> Optional[SpanRecord]:
+        return self._stack[-1] if self._stack else None
+
+    def find_span(self, name: str) -> Optional[SpanRecord]:
+        for root in self.roots:
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    # -- metrics --------------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "collector": self.name,
+            "spans": [root.to_dict() for root in self.roots],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.to_dict()
+                           for k, h in sorted(self.histograms.items())},
+        }
+
+    def render(self) -> str:
+        from repro.obs.export import render_text
+        return render_text(self)

@@ -1,0 +1,100 @@
+"""Exporters: pretty-text phase tree and JSON, shared by ``--profile``,
+``minirust stats`` and the benchmark harness."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.core import Collector, SpanRecord
+
+
+def _fmt_secs(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}µs"
+
+
+def _render_span(span: SpanRecord, lines: List[str], prefix: str,
+                 is_last: bool, is_root: bool) -> None:
+    if is_root:
+        head, child_prefix = "", ""
+    else:
+        head = prefix + ("└─ " if is_last else "├─ ")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    attrs = ""
+    if span.attrs:
+        attrs = " [" + ", ".join(f"{k}={v}"
+                                 for k, v in sorted(span.attrs.items())) + "]"
+    self_note = ""
+    if span.children and span.duration:
+        self_note = f" (self {_fmt_secs(span.self_time)})"
+    lines.append(f"{head}{span.name:<24} {_fmt_secs(span.duration)}"
+                 f"{self_note}{attrs}")
+    for i, child in enumerate(span.children):
+        _render_span(child, lines, child_prefix,
+                     is_last=(i == len(span.children) - 1), is_root=False)
+
+
+def render_text(collector: Collector) -> str:
+    """Human-readable dump: span tree, then counters/gauges/histograms."""
+    lines: List[str] = [f"== trace ({collector.name}) =="]
+    if not collector.roots:
+        lines.append("(no spans recorded)")
+    for root in collector.roots:
+        _render_span(root, lines, "", is_last=True, is_root=True)
+    if collector.counters:
+        lines.append("== counters ==")
+        width = max(len(k) for k in collector.counters)
+        for key in sorted(collector.counters):
+            value = collector.counters[key]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"{key:<{width}}  {shown}")
+    if collector.gauges:
+        lines.append("== gauges ==")
+        for key in sorted(collector.gauges):
+            lines.append(f"{key}  {collector.gauges[key]}")
+    if collector.histograms:
+        lines.append("== histograms ==")
+        for key in sorted(collector.histograms):
+            hist = collector.histograms[key]
+            lines.append(
+                f"{key}  n={hist.count} mean={_fmt_secs(hist.mean)} "
+                f"min={_fmt_secs(hist.min or 0.0)} "
+                f"max={_fmt_secs(hist.max or 0.0)}")
+    return "\n".join(lines)
+
+
+def to_json(collector: Collector, indent: Optional[int] = 2) -> str:
+    return json.dumps(collector.to_dict(), indent=indent, sort_keys=False)
+
+
+def phase_timings(collector: Collector) -> Dict[str, float]:
+    """Flatten the span forest into ``{dotted.path: duration_s}``.
+
+    Repeated spans at the same path accumulate, so e.g. per-body analysis
+    spans sum into one phase figure — the shape BENCH_obs.json records.
+    """
+    out: Dict[str, float] = {}
+
+    def visit(span: SpanRecord, path: str) -> None:
+        key = f"{path}.{span.name}" if path else span.name
+        out[key] = out.get(key, 0.0) + span.duration
+        for child in span.children:
+            visit(child, key)
+
+    for root in collector.roots:
+        visit(root, "")
+    return out
+
+
+def write_json(collector: Collector, path: str) -> Dict[str, Any]:
+    """Write the collector dump (plus flattened phases) to ``path``."""
+    payload = collector.to_dict()
+    payload["phases"] = phase_timings(collector)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    return payload

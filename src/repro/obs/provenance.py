@@ -1,0 +1,67 @@
+"""Finding provenance: the ordered analysis facts that justify a report.
+
+The paper's authors manually audited every detector hit; this module
+gives our detectors the machinery to make the same audit mechanical.  A
+*fact* is a small JSON-able dict — ``{"kind": ..., "note": ..., ...}`` —
+and a finding's ``provenance`` is the ordered list of facts that led to
+it (the points-to edge, the guard region, the freed-state bit, the
+re-acquisition site).  ``minirust explain`` and the ``--json`` report
+surface these verbatim.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Iterable, List
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce analysis-internal values (tuples, frozensets, enums, MIR
+    nodes) into something ``json.dumps`` accepts, deterministically."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonable(v) for v in value) if all(
+            isinstance(v, (str, int, float)) for v in value
+        ) else sorted((jsonable(v) for v in value), key=repr)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def fact(kind: str, note: str = "", /, **detail: Any) -> Dict[str, Any]:
+    """Build one provenance fact.
+
+    ``kind`` is a short machine-readable tag (``points-to``,
+    ``guard-region``, ``freed-state`` …); ``note`` is the human sentence;
+    the rest is structured detail from the analysis that produced it.
+    The first two are positional-only, so detail keys named ``kind`` /
+    ``note`` are legal — the tag still wins on collision.
+    """
+    out: Dict[str, Any] = {"kind": kind}
+    if note:
+        out["note"] = note
+    for key, value in detail.items():
+        out.setdefault(key, jsonable(value))
+    return out
+
+
+def render_facts(facts: Iterable[Dict[str, Any]],
+                 indent: str = "  ") -> List[str]:
+    """Render a provenance trail as numbered, indented lines."""
+    lines: List[str] = []
+    for i, f in enumerate(facts, start=1):
+        note = f.get("note", "")
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(f.items())
+                           if k not in ("kind", "note"))
+        line = f"{indent}{i}. [{f.get('kind', '?')}]"
+        if note:
+            line += f" {note}"
+        if detail:
+            line += f" ({detail})"
+        lines.append(line)
+    return lines

@@ -153,6 +153,100 @@ class TestCliExtensions:
         assert code == 2
 
 
+class TestCliObservability:
+    """The obs-layer CLI surface: --json, --profile, explain, stats."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "prog.rs"
+        path.write_text(text)
+        return str(path)
+
+    def test_check_json_buggy(self, tmp_path, capsys):
+        import json
+        code = cli_main(["check", self._write(tmp_path, UAF_SRC), "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert data["counts"]["use-after-free"] >= 1
+        finding = data["findings"][0]
+        assert finding["provenance"], "JSON report must embed provenance"
+        assert finding["location"]["line"] >= 1
+
+    def test_check_json_clean(self, tmp_path, capsys):
+        import json
+        code = cli_main(["check", self._write(tmp_path, CLEAN_SRC),
+                         "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data["findings"] == []
+
+    def test_check_json_with_profile_embeds_trace(self, tmp_path, capsys):
+        import json
+        code = cli_main(["check", self._write(tmp_path, CLEAN_SRC),
+                         "--json", "--profile"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        span_names = [s["name"] for s in data["profile"]["spans"]]
+        assert "compile" in span_names and "detectors" in span_names
+
+    def test_check_profile_prints_tree(self, tmp_path, capsys):
+        code = cli_main(["check", self._write(tmp_path, UAF_SRC),
+                         "--profile"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "== trace" in out
+        for phase in ("lex", "parse", "mir-lower",
+                      "detector.use-after-free", "detector.double-lock"):
+            assert phase in out
+        assert "analysis.points_to.miss" in out
+        # The collector is torn down after the command.
+        from repro import obs
+        assert obs.get_collector() is None
+
+    def test_explain_buggy(self, tmp_path, capsys):
+        code = cli_main(["explain", self._write(tmp_path, UAF_SRC)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "because:" in out and "[points-to]" in out
+
+    def test_explain_clean(self, tmp_path, capsys):
+        code = cli_main(["explain", self._write(tmp_path, CLEAN_SRC)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no findings" in out
+
+    def test_explain_unknown_detector_is_usage_error(self, tmp_path):
+        code = cli_main(["explain", self._write(tmp_path, CLEAN_SRC),
+                         "--detector", "nonsense"])
+        assert code == 2
+
+    def test_stats_text(self, tmp_path, capsys):
+        code = cli_main(["stats", self._write(tmp_path, UAF_SRC)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== trace" in out and "findings: " in out
+
+    def test_stats_json_with_run(self, tmp_path, capsys):
+        import json
+        code = cli_main(["stats", self._write(tmp_path, CLEAN_SRC),
+                         "--json", "--run"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "interp.run" in data["phases"]
+        assert data["counters"]["interp.steps"] > 0
+        assert data["report"]["findings"] == []
+
+    def test_compile_error_is_usage_error(self, tmp_path, capsys):
+        code = cli_main(["check", self._write(tmp_path, "fn main( {")])
+        assert code == 2
+
+    def test_run_profile(self, tmp_path, capsys):
+        code = cli_main(["run", self._write(tmp_path, CLEAN_SRC),
+                         "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "interp.steps" in out and "interp.run" in out
+
+
 class TestDriverBoundsBuildMode:
     def test_unchecked_build_has_no_asserts(self):
         from repro.driver import compile_source

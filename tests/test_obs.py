@@ -1,0 +1,297 @@
+"""Tests for the ``repro.obs`` tracing/metrics/provenance subsystem."""
+
+import json
+
+import pytest
+
+from conftest import check, detectors_named
+
+from repro import obs
+from repro.obs.core import Collector, NOOP_SPAN
+from repro.obs.export import phase_timings, render_text, to_json
+
+
+UAF_SRC = """
+fn main() {
+    let v: Vec<i32> = Vec::new();
+    let p: *const i32 = v.as_ptr();
+    drop(v);
+    unsafe { print(*p); }
+}
+"""
+
+DOUBLE_LOCK_SRC = """
+static M: Mutex<i32> = Mutex::new(0);
+
+fn main() {
+    let a = M.lock().unwrap();
+    let b = M.lock().unwrap();
+    print(*a + *b);
+}
+"""
+
+
+class TestSpans:
+    def test_nesting(self):
+        col = Collector("t")
+        with col.span("outer"):
+            with col.span("inner"):
+                pass
+            with col.span("inner2"):
+                pass
+        assert len(col.roots) == 1
+        outer = col.roots[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner", "inner2"]
+        assert outer.children[0].children == []
+
+    def test_timing_monotonicity(self):
+        """A parent's wall time bounds the sum of its children's."""
+        col = Collector("t")
+        with col.span("outer"):
+            with col.span("a"):
+                sum(range(2000))
+            with col.span("b"):
+                sum(range(2000))
+        outer = col.roots[0]
+        assert outer.duration > 0.0
+        child_total = sum(c.duration for c in outer.children)
+        assert all(c.duration >= 0.0 for c in outer.children)
+        assert outer.duration >= child_total
+        assert outer.self_time == pytest.approx(
+            outer.duration - child_total)
+        # Siblings were opened in order, so starts are monotone.
+        assert outer.children[0].start <= outer.children[1].start
+
+    def test_attrs_and_find(self):
+        col = Collector("t")
+        with col.span("compile", file="x.rs"):
+            with col.span("parse"):
+                pass
+        assert col.find_span("parse") is not None
+        assert col.find_span("compile").attrs == {"file": "x.rs"}
+        assert col.find_span("nope") is None
+
+    def test_exception_unwinds_stack(self):
+        col = Collector("t")
+        with pytest.raises(ValueError):
+            with col.span("outer"):
+                with col.span("inner"):
+                    raise ValueError("boom")
+        assert col.current_span is None
+        assert col.roots[0].end is not None
+        assert col.roots[0].children[0].end is not None
+
+
+class TestMetrics:
+    def test_counter_aggregation(self):
+        col = Collector("t")
+        col.count("hits")
+        col.count("hits")
+        col.count("hits", 3)
+        col.count("other", 2)
+        assert col.counters == {"hits": 5, "other": 2}
+
+    def test_gauge_last_write_wins(self):
+        col = Collector("t")
+        col.gauge("seed", 1)
+        col.gauge("seed", 7)
+        assert col.gauges["seed"] == 7
+
+    def test_histogram(self):
+        col = Collector("t")
+        for v in (1.0, 2.0, 3.0):
+            col.observe("lat", v)
+        hist = col.histograms["lat"]
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0 and hist.max == 3.0
+        assert hist.mean == 2.0
+
+
+class TestNoopPath:
+    def test_disabled_helpers_record_nothing(self):
+        assert obs.get_collector() is None
+        assert obs.span("x") is NOOP_SPAN
+        with obs.span("x") as s:
+            assert s is NOOP_SPAN
+            s.set(k=1)
+        obs.count("c")
+        obs.gauge("g", 1)
+        obs.observe("h", 1)
+        assert obs.get_collector() is None
+
+    def test_noop_span_is_reentrant(self):
+        with obs.span("a"):
+            with obs.span("a"):
+                pass
+
+    def test_pipeline_runs_clean_without_collector(self):
+        """Instrumented code paths must work with collection disabled —
+        and leave no collector behind."""
+        report = check(UAF_SRC)
+        assert report.findings
+        assert obs.get_collector() is None
+
+    def test_collecting_restores_previous(self):
+        with obs.collecting("outer-col") as outer:
+            with obs.collecting("inner-col") as inner:
+                assert obs.get_collector() is inner
+            assert obs.get_collector() is outer
+        assert obs.get_collector() is None
+
+    def test_install_uninstall(self):
+        col = obs.install("explicit")
+        try:
+            assert obs.get_collector() is col
+            obs.count("x")
+            assert col.counters == {"x": 1}
+        finally:
+            assert obs.uninstall() is col
+        assert obs.get_collector() is None
+
+
+class TestPipelineInstrumentation:
+    def test_compile_and_detect_spans(self):
+        with obs.collecting() as col:
+            check(UAF_SRC)
+        phases = phase_timings(col)
+        for name in ("compile", "compile.lex", "compile.parse",
+                     "compile.hir-table", "compile.mir-lower", "detectors"):
+            assert name in phases
+        assert col.counters["analysis.points_to.miss"] >= 1
+        assert col.counters["detector.use-after-free.findings"] >= 1
+        # Repeated lookups of the same body's points-to must hit.
+        assert col.counters["analysis.points_to.hit"] >= 1
+
+    def test_interpreter_counters(self):
+        from repro.driver import compile_source
+        from repro.mir.interp import ScheduleConfig, run_program
+        src = "fn main() { let x = 1 + 2; print(x); }"
+        with obs.collecting() as col:
+            compiled = compile_source(src)
+            result = run_program(compiled.program,
+                                 schedule=ScheduleConfig(seed=3))
+        assert result.ok
+        assert col.counters["interp.steps"] == result.steps
+        assert col.counters["interp.outcome.ok"] == 1
+        assert col.gauges["interp.schedule_seed"] == 3
+        assert col.find_span("interp.run") is not None
+
+    def test_guard_region_cache_key_is_tuple(self):
+        """A body literally named ``foo#try`` must not collide with the
+        cached ``include_try`` variant of ``foo`` (old string-concat key)."""
+        from repro.detectors.base import AnalysisContext
+        from repro.driver import compile_source
+
+        compiled = compile_source(DOUBLE_LOCK_SRC)
+        ctx = AnalysisContext(compiled.program)
+        body = compiled.program.body("main")
+        plain = ctx.guard_regions(body, include_try=False)
+        with_try = ctx.guard_regions(body, include_try=True)
+        assert ("main", False) in ctx._guard_regions
+        assert ("main", True) in ctx._guard_regions
+        # Same body, same flag → cache hit returns the same object.
+        assert ctx.guard_regions(body, include_try=False) is plain
+        assert ctx.guard_regions(body, include_try=True) is with_try
+
+
+class TestProvenance:
+    def test_uaf_finding_has_provenance(self):
+        report = check(UAF_SRC)
+        uaf = detectors_named(report, "use-after-free")
+        assert uaf
+        trail = uaf[0].provenance
+        assert trail, "UAF finding must carry provenance"
+        kinds = [f["kind"] for f in trail]
+        assert "points-to" in kinds
+        assert "freed-state" in kinds or "storage-dead" in kinds
+        assert "pointer-use" in kinds
+        # JSON-able end to end.
+        json.dumps(trail)
+
+    def test_double_lock_finding_has_provenance(self):
+        report = check(DOUBLE_LOCK_SRC)
+        dl = detectors_named(report, "double-lock")
+        assert dl
+        trail = dl[0].provenance
+        kinds = [f["kind"] for f in trail]
+        assert kinds[0] == "guard-region"
+        assert "lock-identity" in kinds
+        assert "reacquire" in kinds
+        json.dumps(trail)
+
+    def test_explain_renders_trail(self):
+        report = check(UAF_SRC)
+        text = report.explain()
+        assert "because:" in text
+        assert "[points-to]" in text
+
+    def test_fact_collision_safe(self):
+        from repro.obs.provenance import fact
+        f = fact("tag", "a note", kind="detail-kind", note="detail-note",
+                 extra=frozenset({("a", 1)}))
+        assert f["kind"] == "tag"        # the tag wins
+        assert f["note"] == "a note"
+        assert f["extra"] == [["a", 1]]
+
+
+class TestExporters:
+    def test_json_round_trip(self):
+        with obs.collecting("rt") as col:
+            with obs.span("phase", file="x"):
+                obs.count("n", 2)
+                obs.observe("h", 0.5)
+            obs.gauge("g", 9)
+        blob = to_json(col)
+        data = json.loads(blob)
+        assert data["collector"] == "rt"
+        assert data["counters"] == {"n": 2}
+        assert data["gauges"] == {"g": 9}
+        assert data["histograms"]["h"]["count"] == 1
+        assert data["spans"][0]["name"] == "phase"
+        assert data["spans"][0]["attrs"] == {"file": "x"}
+        assert data["spans"][0]["duration_s"] >= 0.0
+        # And the collector dict round-trips through dumps/loads intact.
+        assert json.loads(json.dumps(col.to_dict())) == col.to_dict()
+
+    def test_report_json_round_trip(self):
+        report = check(UAF_SRC)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["counts"]["use-after-free"] >= 1
+        finding = data["findings"][0]
+        assert {"detector", "kind", "severity", "message", "fn",
+                "metadata", "provenance"} <= set(finding)
+        assert finding["location"]["line"] >= 1
+
+    def test_render_text_shape(self):
+        with obs.collecting() as col:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+            obs.count("c", 1)
+        text = render_text(col)
+        assert "== trace" in text
+        assert "outer" in text and "inner" in text
+        assert "└─" in text
+        assert "== counters ==" in text
+
+    def test_phase_timings_accumulate(self):
+        col = Collector("t")
+        for _ in range(3):
+            with col.span("a"):
+                with col.span("b"):
+                    pass
+        flat = phase_timings(col)
+        assert set(flat) == {"a", "a.b"}
+        assert flat["a"] >= flat["a.b"] >= 0.0
+
+    def test_write_json(self, tmp_path):
+        with obs.collecting() as col:
+            with obs.span("p"):
+                pass
+        path = tmp_path / "obs.json"
+        payload = obs.write_json(col, str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(payload))
+        assert "phases" in on_disk and "p" in on_disk["phases"]
