@@ -81,8 +81,7 @@ def test_uaf_with_return_summaries(benchmark):
 def test_uaf_without_return_summaries(benchmark):
     def run():
         compiled = compile_source(FIG7)
-        ctx = AnalysisContext(compiled.program)
-        ctx._return_summaries = {}     # ablate the summaries
+        ctx = AnalysisContext(compiled.program, interprocedural=False)
         return UseAfterFreeDetector().run(ctx)
     findings = benchmark(run)
     emit("use-after-free without return summaries",

@@ -187,3 +187,96 @@ def test_obs_trajectory_artifact():
          f"compile {phases['compile'] * 1e3:.2f}ms, "
          f"detectors {phases['detectors'] * 1e3:.2f}ms, "
          f"interp {phases['interp.run'] * 1e3:.2f}ms")
+
+
+BENCH_SUMMARIES_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_summaries.json"
+
+
+def test_summary_engine_artifact(monkeypatch):
+    """Compare the two interprocedural strategies over the corpus and
+    write ``BENCH_summaries.json``.
+
+    The legacy path (``compute_return_summaries``) recomputes points-to
+    for *every* function on *every* fixpoint round, then once more per
+    body for the detectors.  The :class:`SummaryEngine` solves bottom-up
+    over call-graph SCCs, so each acyclic function's points-to is built
+    exactly once during the solve plus once for the detector-facing
+    cache.  Points-to constructions are counted by patching the shared
+    entry point, making the comparison deterministic; wall times ride
+    along as context.
+    """
+    import time
+
+    from repro.analysis import engine as engine_mod
+    from repro.analysis import points_to as points_to_mod
+    from repro.analysis.engine import SummaryEngine
+    from repro.corpus.generator import generate_corpus
+
+    corpus = generate_corpus(seed=0, scale=1)
+    programs = [compile_source(f.text, name=f.name).program
+                for f in corpus.files]
+    total_functions = sum(len(p.functions) for p in programs)
+
+    counter = {"n": 0}
+    real_compute = points_to_mod.compute_points_to
+
+    def counting_compute(*args, **kwargs):
+        counter["n"] += 1
+        return real_compute(*args, **kwargs)
+
+    monkeypatch.setattr(points_to_mod, "compute_points_to",
+                        counting_compute)
+    monkeypatch.setattr(engine_mod, "compute_points_to", counting_compute)
+
+    def measure(run):
+        counter["n"] = 0
+        start = time.perf_counter()
+        run()
+        return counter["n"], time.perf_counter() - start
+
+    def run_engine():
+        for program in programs:
+            engine = SummaryEngine(program)
+            for key in program.functions:
+                engine.summary(key)
+            for body in program.functions.values():
+                engine.points_to(body)
+
+    def run_legacy():
+        from repro.analysis.callgraph import build_call_graph
+        for program in programs:
+            # What the pre-engine AnalysisContext computed: the whole-
+            # program return-summary fixpoint, the call graph with its
+            # lock-summary fixpoint (the old double-lock detector's
+            # input), and one cached points-to per body.
+            summaries = points_to_mod.compute_return_summaries(program)
+            build_call_graph(program).lock_summaries
+            for body in program.functions.values():
+                counting_compute(body, summaries)
+
+    engine_computes, engine_wall = measure(run_engine)
+    legacy_computes, legacy_wall = measure(run_legacy)
+
+    assert engine_computes < legacy_computes, \
+        (engine_computes, legacy_computes)
+    assert engine_computes >= total_functions
+
+    payload = {
+        "corpus": {"files": len(corpus.files), "loc": corpus.total_loc,
+                   "functions": total_functions},
+        "engine": {"points_to_computes": engine_computes,
+                   "wall_s": round(engine_wall, 6)},
+        "legacy": {"points_to_computes": legacy_computes,
+                   "wall_s": round(legacy_wall, 6)},
+        "computes_ratio": round(legacy_computes / engine_computes, 3),
+    }
+    BENCH_SUMMARIES_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    round_trip = json.loads(BENCH_SUMMARIES_PATH.read_text())
+    assert round_trip["engine"]["points_to_computes"] == engine_computes
+    emit("summary engine vs legacy recomputation",
+         f"corpus: {len(corpus.files)} files / {total_functions} fns; "
+         f"points-to computes: engine {engine_computes}, legacy "
+         f"{legacy_computes} ({payload['computes_ratio']}x); wall: engine "
+         f"{engine_wall * 1e3:.1f}ms, legacy {legacy_wall * 1e3:.1f}ms")

@@ -46,8 +46,19 @@ class CallGraph:
     call_sites: List[CallSite] = field(default_factory=list)
     edges: Dict[str, Set[str]] = field(default_factory=dict)
     spawn_edges: Dict[str, Set[str]] = field(default_factory=dict)
-    #: fn key → abstract locks it may acquire (transitively, same thread).
-    lock_summaries: Dict[str, Set[LockId]] = field(default_factory=dict)
+    _lock_summaries: Optional[Dict[str, Set[LockId]]] = \
+        field(default=None, repr=False)
+
+    @property
+    def lock_summaries(self) -> Dict[str, Set[LockId]]:
+        """fn key → abstract locks it may acquire (transitively, same
+        thread).  Computed lazily on first access: the
+        :class:`repro.analysis.engine.SummaryEngine` subsumes these
+        facts, so graph consumers that only need edges never pay for
+        the whole-program fixpoint."""
+        if self._lock_summaries is None:
+            _compute_lock_summaries(self)
+        return self._lock_summaries
 
     def callees(self, key: str) -> Set[str]:
         return self.edges.get(key, set())
@@ -135,7 +146,6 @@ def build_call_graph(program: Program) -> CallGraph:
                 caller=key, callee=callee_key, block=bb, span=term.span,
                 arg_sources=arg_sources))
 
-    _compute_lock_summaries(graph)
     return graph
 
 
@@ -193,4 +203,4 @@ def _compute_lock_summaries(graph: CallGraph) -> None:
                 if translated is not None and translated not in caller_locks:
                     caller_locks.add(translated)
                     changed = True
-    graph.lock_summaries = summaries
+    graph._lock_summaries = summaries

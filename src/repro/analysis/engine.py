@@ -1,0 +1,483 @@
+"""The summary engine: bottom-up interprocedural analysis over SCCs.
+
+:class:`SummaryEngine` owns every interprocedural fact the detectors
+consume.  It walks the call graph bottom-up — Tarjan's algorithm emits
+strongly connected components in reverse topological order, so every
+callee outside the current component is already summarised — and iterates
+each component with a worklist until its members' summaries stop
+changing.  All summary fields are may-sets (or monotone flags), so the
+fixpoint is exact: recursion and mutual recursion converge without the
+round bounds the legacy ``compute_return_summaries`` needed.
+
+The engine also owns the per-body points-to cache.  Points-to facts and
+function summaries are mutually dependent (a body's points-to needs its
+callees' return summaries; the summary is extracted from the body's
+points-to), which is why the old design recomputed points-to for every
+function per round.  Here the solve works on a *live view* of the current
+summaries and seeds the per-body cache with its final (fixpoint) result,
+so the detector-facing :meth:`points_to` never recomputes what the solve
+already produced — with the same ``analysis.points_to.hit``/``.miss``
+obs counters the old ``AnalysisContext`` cache emitted (miss = first
+request for a body's facts, hit = every repeat).
+
+With ``interprocedural=False`` every summary is the bottom element and
+points-to runs without return summaries — the ablation mode the
+benchmarks use to measure what the interprocedural layer buys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.analysis.callgraph import CallGraph, build_call_graph, direct_locks
+from repro.analysis.lifetime import LOCK_ACQUIRE_OPS, compute_guard_regions
+from repro.analysis.points_to import (
+    PointsTo, UNKNOWN_TARGET, compute_points_to, return_items,
+)
+from repro.analysis.summaries import (
+    EffectHop, FunctionSummary, LockId, owned_value_args, term_arg_sources,
+    translate_lock, value_chain,
+)
+from repro.hir.builtins import BuiltinOp, FuncKind
+from repro.lang.types import TyKind
+from repro.mir.nodes import (
+    Body, Program, RvalueKind, StatementKind, TerminatorKind,
+)
+
+
+class _ReturnView:
+    """Live dict-view of the engine's current return facts.
+
+    Handed to ``compute_points_to`` both *during* the solve (where it
+    reflects the partially converged state of the current SCC iteration)
+    and after it (where it is the fixpoint).  Always truthy so the
+    user-call branch of the constraint builder stays enabled even while
+    the map is still empty.
+    """
+
+    def __init__(self, engine: "SummaryEngine") -> None:
+        self._engine = engine
+
+    def get(self, key: str, default=None):
+        summary = self._engine._summaries.get(key)
+        if summary is None:
+            return default
+        return summary.returns or default
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class SummaryEngine:
+    """Computes and caches :class:`FunctionSummary` facts for a program."""
+
+    def __init__(self, program: Program,
+                 interprocedural: bool = True) -> None:
+        self.program = program
+        self.interprocedural = interprocedural
+        self._summaries: Dict[str, FunctionSummary] = {}
+        self._points_to: Dict[str, PointsTo] = {}
+        self._call_graph: Optional[CallGraph] = None
+        self._view = _ReturnView(self)
+        self._solved = False
+        self._served: Set[str] = set()
+        self._pt_served: Set[str] = set()
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def call_graph(self) -> CallGraph:
+        if self._call_graph is None:
+            obs.count("analysis.call_graph.miss")
+            with obs.span("analysis.call_graph"):
+                self._call_graph = build_call_graph(self.program)
+        else:
+            obs.count("analysis.call_graph.hit")
+        return self._call_graph
+
+    def points_to(self, body: Body) -> PointsTo:
+        """The body's points-to facts at the interprocedural fixpoint.
+
+        The solve seeds this cache: the last points-to computed for a
+        function runs against its component's converged summaries, so it
+        already *is* the fixpoint result.  ``miss`` counts the first
+        request for a body (facts had to be produced for it), ``hit``
+        every repeat — the same contract the per-body cache always had.
+        """
+        self._ensure_solved()
+        if body.key in self._pt_served:
+            obs.count("analysis.points_to.hit")
+        else:
+            self._pt_served.add(body.key)
+            obs.count("analysis.points_to.miss")
+        cached = self._points_to.get(body.key)
+        if cached is not None:
+            return cached
+        with obs.span("analysis.points_to"):
+            pt = compute_points_to(
+                body, self._view if self.interprocedural else None)
+        self._points_to[body.key] = pt
+        return pt
+
+    def summary(self, key: str) -> FunctionSummary:
+        """The converged summary for ``key`` (bottom for unknown keys)."""
+        self._ensure_solved()
+        if key in self._served:
+            obs.count("analysis.summary.hit")
+        else:
+            self._served.add(key)
+            obs.count("analysis.summary.miss")
+        summary = self._summaries.get(key)
+        if summary is None:
+            summary = FunctionSummary(key=key)
+            self._summaries[key] = summary
+        return summary
+
+    def summaries_map(self) -> Dict[str, FunctionSummary]:
+        """The converged summary map (for summary-aware guard regions)."""
+        self._ensure_solved()
+        return self._summaries
+
+    def return_summaries(self) -> Dict[str, set]:
+        """Legacy-shaped view: fn key → return items (non-empty only)."""
+        self._ensure_solved()
+        return {key: set(s.returns)
+                for key, s in self._summaries.items() if s.returns}
+
+    def lock_chain(self, key: str, lock: LockId) -> List[str]:
+        """The call chain along which ``key`` reaches the acquisition of
+        ``lock`` — ``[key]`` when the acquisition is direct."""
+        self._ensure_solved()
+        chain = [key]
+        seen = {(key, lock)}
+        current_key, current_lock = key, lock
+        while True:
+            summary = self._summaries.get(current_key)
+            if summary is None:
+                break
+            hop = summary.locks.get(current_lock)
+            if hop is None:
+                break
+            current_key, current_lock = hop
+            if (current_key, current_lock) in seen:
+                break
+            seen.add((current_key, current_lock))
+            chain.append(current_key)
+        return chain
+
+    def drop_chain(self, key: str, position: int) -> List[str]:
+        """The call chain along which the value passed to ``key`` at
+        argument ``position`` reaches its drop."""
+        self._ensure_solved()
+        chain = [key]
+        seen = {(key, position)}
+        current_key, current_pos = key, position
+        while True:
+            summary = self._summaries.get(current_key)
+            if summary is None:
+                break
+            hop = summary.may_drop_args.get(current_pos)
+            if hop is None or hop == (current_key, current_pos):
+                break
+            current_key, current_pos = hop
+            if (current_key, current_pos) in seen:
+                break
+            seen.add((current_key, current_pos))
+            chain.append(current_key)
+        return chain
+
+    # -- solve --------------------------------------------------------------
+
+    def _ensure_solved(self) -> None:
+        if self._solved:
+            return
+        self._solved = True
+        if not self.interprocedural:
+            # Ablation mode: every summary is the bottom element.
+            for key in self.program.functions:
+                self._summaries[key] = FunctionSummary(key=key)
+            return
+        with obs.span("analysis.summaries"):
+            self._solve()
+
+    def _solve(self) -> None:
+        program = self.program
+        graph = self.call_graph
+        components = self._scc_order(graph)
+        obs.gauge("analysis.summaries.sccs", len(components))
+        total_iterations = 0
+        for component in components:
+            cyclic = len(component) > 1 or any(
+                key in graph.edges.get(key, ()) for key in component)
+            in_progress = frozenset(component) if cyclic else frozenset()
+            changed = True
+            while changed:
+                total_iterations += 1
+                changed = False
+                for key in component:
+                    body = program.functions[key]
+                    pt = compute_points_to(body, self._view)
+                    obs.count("analysis.summaries.points_to_computes")
+                    # The last compute for a function runs against its
+                    # component's converged summaries — the fixpoint the
+                    # detector-facing cache serves.
+                    self._points_to[key] = pt
+                    new = self._summarize(body, pt, in_progress)
+                    if new != self._summaries.get(key):
+                        self._summaries[key] = new
+                        changed = True
+                if not cyclic:
+                    # Every callee is outside the component and already
+                    # converged: one pass is the fixpoint.
+                    break
+        obs.count("analysis.summaries.iterations", total_iterations)
+
+    def _scc_order(self, graph: CallGraph) -> List[List[str]]:
+        """Tarjan's SCC algorithm (iterative); emits components in
+        reverse topological order — callees before callers."""
+        functions = self.program.functions
+        keys = list(functions.keys())
+        edges = {key: sorted(c for c in graph.edges.get(key, ())
+                             if c in functions) for key in keys}
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[List[str]] = []
+        counter = 0
+        for root in keys:
+            if root in index:
+                continue
+            work = [(root, iter(edges[root]))]
+            index[root] = low[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter
+                        counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(edges[succ])))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component = []
+                    while True:
+                        popped = stack.pop()
+                        on_stack.discard(popped)
+                        component.append(popped)
+                        if popped == node:
+                            break
+                    components.append(component)
+        return components
+
+    # -- per-body summarisation ---------------------------------------------
+
+    def _callee_of(self, body: Body, term) -> Optional[str]:
+        """Same-thread callee key of a call terminator, or None."""
+        func = term.func
+        if func.kind in (FuncKind.USER, FuncKind.CLOSURE):
+            return func.user_fn
+        if func.builtin_op is BuiltinOp.ONCE_CALL_ONCE:
+            # call_once(closure) executes the closure synchronously.
+            for arg in term.args:
+                if arg.place is not None:
+                    ty = body.local_ty(arg.place.local)
+                    if ty.kind is TyKind.CLOSURE:
+                        return ty.name
+        return None
+
+    def _summarize(self, body: Body, pt: PointsTo,
+                   in_progress: FrozenSet[str]) -> FunctionSummary:
+        key = body.key
+        program = self.program
+
+        returns: Set = set(return_items(body, pt))
+        for target in pt.targets(0):
+            if target[0] == "heap":
+                returns.add("heap")
+            elif target == UNKNOWN_TARGET:
+                returns.add("unknown")
+
+        locks: Dict[LockId, Optional[Tuple[str, LockId]]] = {
+            lock: None for lock in direct_locks(body)}
+        acquires = bool(locks)
+        calls_unknown = False
+        may_drop: Dict[int, EffectHop] = {}
+        escapes: Dict[int, EffectHop] = {}
+
+        # Call-site inventory: direct facts + same-thread callee sites.
+        user_sites: List[Tuple[object, str, List[Optional[int]]]] = []
+        for _bb, term in body.iter_terminators():
+            if term.kind is not TerminatorKind.CALL or term.func is None:
+                continue
+            func = term.func
+            if func.builtin_op in LOCK_ACQUIRE_OPS:
+                acquires = True
+            if func.kind is FuncKind.UNKNOWN \
+                    or func.builtin_op is BuiltinOp.FFI:
+                calls_unknown = True
+            if func.builtin_op is BuiltinOp.THREAD_SPAWN:
+                continue       # the spawned closure runs on another thread
+            callee = self._callee_of(body, term)
+            if callee is not None and callee in program.functions:
+                user_sites.append((term, callee,
+                                   term_arg_sources(body, term)))
+
+        # Compose callee effects into this summary.
+        for term, callee, sources in user_sites:
+            callee_summary = self._summaries.get(callee)
+            if callee_summary is None:
+                continue
+            if callee_summary.calls_unknown:
+                calls_unknown = True
+            if callee_summary.acquires_any_lock:
+                acquires = True
+            for lock in callee_summary.locks:
+                translated = translate_lock(lock, sources)
+                if translated is not None and translated not in locks:
+                    locks[translated] = (callee, lock)
+            for position in callee_summary.arg_escapes:
+                if position < len(sources) \
+                        and sources[position] is not None:
+                    escapes.setdefault(sources[position],
+                                       (callee, position))
+
+        # May-drop / escape facts for owned by-value arguments.
+        int_returns = {item for item in returns if isinstance(item, int)}
+        for position in owned_value_args(body):
+            chain = value_chain(body, position + 1)
+            forgotten = escaped = explicit = False
+            moved_hop: Optional[EffectHop] = None
+            for _bb, _i, stmt in body.iter_statements():
+                if stmt.kind is StatementKind.DROP and stmt.place.is_local \
+                        and stmt.place.local in chain:
+                    explicit = True
+            for _bb, term in body.iter_terminators():
+                if term.kind is not TerminatorKind.CALL or term.func is None:
+                    continue
+                func = term.func
+                op = func.builtin_op
+                if not any(arg.place is not None
+                           and arg.place.local in chain
+                           for arg in term.args):
+                    continue
+                if op is BuiltinOp.MEM_FORGET:
+                    forgotten = True
+                elif op is BuiltinOp.MEM_DROP:
+                    explicit = True
+                elif func.kind is FuncKind.UNKNOWN or op is BuiltinOp.FFI:
+                    escaped = True
+                elif func.kind in (FuncKind.USER, FuncKind.CLOSURE) \
+                        and moved_hop is None:
+                    callee_summary = self._summaries.get(func.user_fn)
+                    if callee_summary is None:
+                        continue
+                    for j, arg in enumerate(term.args):
+                        if arg.place is not None and arg.is_move \
+                                and arg.place.local in chain \
+                                and callee_summary.drops_arg(j):
+                            moved_hop = (func.user_fn, j)
+                            break
+            if escaped:
+                escapes.setdefault(position, (key, position))
+            if forgotten or position in int_returns or 0 in chain:
+                continue      # the value leaves this frame alive
+            if explicit:
+                may_drop[position] = (key, position)
+            elif moved_hop is not None:
+                may_drop[position] = moved_hop
+            else:
+                # Neither returned, forgotten, nor handed to a known
+                # non-dropping callee: ownership dies with this frame.
+                may_drop[position] = (key, position)
+
+        # Locks still held when the function returns (a returned guard).
+        # Guard-region computation is the expensive part of summarising,
+        # so it only runs when the return type can actually carry a
+        # guard out of the frame AND a lock is acquired in the call tree.
+        held: Set[LockId] = set()
+        ret_ty = body.local_ty(0)
+        guard_return = ret_ty.is_guard or any(
+            a.is_guard for a in ret_ty.args)
+        might_hold = guard_return and (acquires or any(
+            (callee_summary := self._summaries.get(callee)) is not None
+            and callee_summary.locks_held_on_return
+            for _term, callee, _sources in user_sites))
+        if might_hold:
+            return_points = {
+                (block.index, len(block.statements))
+                for block in body.blocks
+                if block.terminator is not None
+                and block.terminator.kind is TerminatorKind.RETURN}
+            for region in compute_guard_regions(
+                    body, pt, summaries=self._summaries):
+                if region.is_try or not (region.points & return_points):
+                    continue
+                for ident in region.lock_ids:
+                    if ident[0] in ("arg", "static"):
+                        held.add((ident[0], ident[1], ident[2],
+                                  region.kind))
+
+        return FunctionSummary(
+            key=key, returns=frozenset(returns),
+            const_return=self._const_return(body, in_progress),
+            may_drop_args=may_drop, arg_escapes=escapes, locks=locks,
+            locks_held_on_return=frozenset(held),
+            acquires_any_lock=acquires, calls_unknown=calls_unknown)
+
+    def _const_return(self, body: Body,
+                      in_progress: FrozenSet[str]) -> Optional[int]:
+        """The single constant integer every return path yields, if any.
+
+        Callees inside the SCC still being iterated count as unknown, so
+        this field never oscillates during the worklist.
+        """
+        values: List[int] = []
+        unknown = False
+        for _bb, _i, stmt in body.iter_statements():
+            if stmt.kind is not StatementKind.ASSIGN \
+                    or not stmt.place.is_local or stmt.place.local != 0:
+                continue
+            rv = stmt.rvalue
+            if rv is not None and rv.kind is RvalueKind.USE \
+                    and rv.operands[0].is_const \
+                    and isinstance(rv.operands[0].constant.value, int) \
+                    and not isinstance(rv.operands[0].constant.value, bool):
+                values.append(rv.operands[0].constant.value)
+            else:
+                unknown = True
+        for _bb, term in body.iter_terminators():
+            if term.kind is not TerminatorKind.CALL or term.func is None:
+                continue
+            if term.destination is None or not term.destination.is_local \
+                    or term.destination.local != 0:
+                continue
+            func = term.func
+            resolved = False
+            if func.kind in (FuncKind.USER, FuncKind.CLOSURE) \
+                    and func.user_fn not in in_progress:
+                callee_summary = self._summaries.get(func.user_fn)
+                if callee_summary is not None \
+                        and callee_summary.const_return is not None:
+                    values.append(callee_summary.const_return)
+                    resolved = True
+            if not resolved:
+                unknown = True
+        if unknown or not values or len(set(values)) != 1:
+            return None
+        return values[0]

@@ -45,6 +45,9 @@ TRY_ACQUIRE_OPS = {
     BuiltinOp.RWLOCK_TRY_READ: "read",
     BuiltinOp.RWLOCK_TRY_WRITE: "write",
 }
+#: lock kind → the canonical acquisition op (for synthetic regions that
+#: model a callee returning with the lock held).
+KIND_TO_ACQUIRE_OP = {kind: op for op, kind in LOCK_ACQUIRE_OPS.items()}
 
 # Ops that move a value out of their (by-ref) receiver.
 _EXTRACT_OPS = {BuiltinOp.UNWRAP, BuiltinOp.EXPECT, BuiltinOp.OK_METHOD,
@@ -169,6 +172,28 @@ def lock_identity(body: Body, pt: PointsTo, receiver_temp: int) -> FrozenSet:
     return frozenset(ids)
 
 
+def caller_lock_ids(body: Body, pt: PointsTo, term, lock) -> FrozenSet:
+    """Translate a callee summary lock (4-tuple ``(kind_of_id, payload,
+    proj, lock_kind)``) into the caller's lock-identity space at call
+    terminator ``term``."""
+    id_kind, payload, proj, _lock_kind = lock
+    if id_kind == "static":
+        return frozenset({("static", payload, proj)})
+    if id_kind == "arg":
+        index = payload
+        if index >= len(term.args) or term.args[index].place is None:
+            return frozenset()
+        arg_local = term.args[index].place.local
+        base_ids = lock_identity(body, pt, arg_local)
+        if not proj:
+            return base_ids
+        out = set()
+        for ident in base_ids:
+            out.add((ident[0], ident[1], tuple(ident[2]) + tuple(proj)))
+        return frozenset(out)
+    return frozenset()
+
+
 # ---------------------------------------------------------------------------
 # Guard regions
 # ---------------------------------------------------------------------------
@@ -187,6 +212,9 @@ class GuardRegion:
     points: Set[Point] = field(default_factory=set)
     release_points: Set[Point] = field(default_factory=set)
     is_try: bool = False
+    #: Set when the region models a *callee* that returned with the lock
+    #: held (from its summary's held-on-return set): the callee's key.
+    via_call: Optional[str] = None
 
     def covers(self, point: Point) -> bool:
         return point in self.points
@@ -266,8 +294,16 @@ def _guard_chain(body: Body, seed: int) -> Set[int]:
 
 
 def compute_guard_regions(body: Body, pt: Optional[PointsTo] = None,
-                          include_try: bool = False) -> List[GuardRegion]:
-    """Find every lock acquisition in ``body`` and compute its held region."""
+                          include_try: bool = False,
+                          summaries=None) -> List[GuardRegion]:
+    """Find every lock acquisition in ``body`` and compute its held region.
+
+    ``summaries``, when given, is a mapping (``.get(fn_key)``) of function
+    keys to :class:`~repro.analysis.summaries.FunctionSummary`; a call to
+    a function whose summary holds locks on return (it returns the guard)
+    then starts a *synthetic* region at the call site, so guards acquired
+    behind a helper are tracked in the caller too.
+    """
     from repro.analysis.points_to import compute_points_to
     if pt is None:
         pt = compute_points_to(body)
@@ -279,22 +315,45 @@ def compute_guard_regions(body: Body, pt: Optional[PointsTo] = None,
             continue
         op = term.func.builtin_op
         is_try = op in TRY_ACQUIRE_OPS
-        if op not in LOCK_ACQUIRE_OPS and not (include_try and is_try):
+        if op in LOCK_ACQUIRE_OPS or (include_try and is_try):
+            if term.destination is None or not term.destination.is_local:
+                continue
+            kind = LOCK_ACQUIRE_OPS.get(op) or TRY_ACQUIRE_OPS.get(op)
+            recv = term.args[0].place.local if term.args and \
+                term.args[0].place is not None else None
+            if recv is None:
+                continue
+            region = GuardRegion(
+                body=body, acquire_block=bb, op=op, kind=kind,
+                lock_ids=lock_identity(body, pt, recv), span=term.span,
+                is_try=is_try)
+            region.guard_chain = _guard_chain(body, term.destination.local)
+            _propagate_region(body, cfg, region, term)
+            regions.append(region)
+            continue
+        if summaries is None:
+            continue
+        if term.func.kind not in (FuncKind.USER, FuncKind.CLOSURE):
+            continue
+        summary = summaries.get(term.func.user_fn)
+        if summary is None or not summary.locks_held_on_return:
             continue
         if term.destination is None or not term.destination.is_local:
             continue
-        kind = LOCK_ACQUIRE_OPS.get(op) or TRY_ACQUIRE_OPS.get(op)
-        recv = term.args[0].place.local if term.args and \
-            term.args[0].place is not None else None
-        if recv is None:
-            continue
-        region = GuardRegion(
-            body=body, acquire_block=bb, op=op, kind=kind,
-            lock_ids=lock_identity(body, pt, recv), span=term.span,
-            is_try=is_try)
-        region.guard_chain = _guard_chain(body, term.destination.local)
-        _propagate_region(body, cfg, region, term)
-        regions.append(region)
+        chain = _guard_chain(body, term.destination.local)
+        for held in summary.locks_held_on_return:
+            lock_ids = caller_lock_ids(body, pt, term, held)
+            if not lock_ids:
+                continue
+            lock_kind = held[3]
+            region = GuardRegion(
+                body=body, acquire_block=bb,
+                op=KIND_TO_ACQUIRE_OP.get(lock_kind, BuiltinOp.MUTEX_LOCK),
+                kind=lock_kind, lock_ids=lock_ids, span=term.span,
+                via_call=term.func.user_fn)
+            region.guard_chain = set(chain)
+            _propagate_region(body, cfg, region, term)
+            regions.append(region)
     return regions
 
 

@@ -11,6 +11,9 @@ Points-to targets:
 * ``("heap", site)`` — an allocation made at call-site id ``site``
   (``Box::new``, ``alloc``, ``Vec::new`` …);
 * ``("static", name)`` — a global;
+* ``("argval", i)`` — the value of the function's own argument ``i``
+  (seeded on every argument local so return-value aliasing like
+  ``f(x) = g(x)`` composes across call chains);
 * ``("unknown",)`` — escape hatch for FFI / unresolved sources.
 
 The solver is a straightforward transitive-closure iteration; bodies are
@@ -92,6 +95,12 @@ def compute_points_to(body: Body,
     def ensure(local: int) -> Set[Target]:
         return pt.setdefault(local, set())
 
+    # Seed every argument local with its own-value marker so copies of an
+    # argument (and values returned through callees that pass the argument
+    # along) stay identifiable as "aliases caller argument i".
+    for position in range(body.arg_count):
+        ensure(position + 1).add(("argval", position))
+
     # Constraint lists.
     copies: Set[Tuple[int, int]] = set()     # dst ⊇ src
     loads: Set[Tuple[int, int]] = set()      # dst ⊇ *src
@@ -170,11 +179,18 @@ def compute_points_to(body: Body,
             if recv is not None:
                 loads.add((dst, recv))
                 copies.add((dst, recv))
-        elif func.kind is FuncKind.USER and return_summaries:
-            items = return_summaries.get(func.user_fn, set())
+        elif func.kind in (FuncKind.USER, FuncKind.CLOSURE) \
+                and return_summaries:
+            items = return_summaries.get(func.user_fn) or set()
             for item in items:
                 if item == "null":
                     ensure(dst).add(NULL_TARGET)
+                elif item == "heap":
+                    # The callee returns a fresh allocation; model it as an
+                    # allocation made at this call site.
+                    ensure(dst).add(("heap", f"{body.key}:{bb}"))
+                elif item == "unknown":
+                    ensure(dst).add(UNKNOWN_TARGET)
                 elif isinstance(item, int) and item < len(term.args):
                     src = operand_local(term.args[item])
                     if src is not None:
@@ -210,26 +226,44 @@ def compute_points_to(body: Body,
     return result
 
 
+def return_items(body: Body, pt: PointsTo) -> Set:
+    """Extract the return-summary items for one body from its points-to
+    result: argument positions the return value may point into or alias,
+    plus ``"null"``."""
+    items: Set = set()
+    for target in pt.targets(0):
+        if target[0] == "local" and 0 < target[1] <= body.arg_count:
+            items.add(target[1] - 1)
+        elif target[0] == "argval":
+            items.add(target[1])
+        elif target == NULL_TARGET:
+            items.add("null")
+    return items
+
+
 def compute_return_summaries(program) -> Dict[str, Set[int]]:
     """Which argument positions can each function's return value point
-    into?  Iterated to a (bounded) fixpoint so chains like
-    ``f(x) = g(x)`` propagate."""
+    into?  Iterated to a true fixpoint so arbitrarily deep chains like
+    ``f(x) = g(x) = h(x)`` propagate fully, whatever the definition
+    order.  (A bounded 3-round loop used to lose precision on chains
+    deeper than its bound.)
+
+    This is the *legacy* whole-program recomputation: every round re-runs
+    ``compute_points_to`` for every function.  The
+    :class:`repro.analysis.engine.SummaryEngine` computes the same facts
+    (and more) bottom-up over call-graph SCCs; this function remains as
+    the reference implementation the benchmarks compare against.
+    """
     summaries: Dict[str, Set[int]] = {}
-    for _round in range(3):
+    changed = True
+    while changed:
         changed = False
         for key, body in program.functions.items():
             pt = compute_points_to(body, summaries)
             # The return place is local 0; look at what it may point to,
             # including values that flowed into it.
-            items: Set = set()
-            for target in pt.targets(0):
-                if target[0] == "local" and 0 < target[1] <= body.arg_count:
-                    items.add(target[1] - 1)
-                elif target == NULL_TARGET:
-                    items.add("null")
+            items = return_items(body, pt)
             if items and not items <= summaries.get(key, set()):
                 summaries[key] = set(summaries.get(key, set())) | items
                 changed = True
-        if not changed:
-            break
     return summaries

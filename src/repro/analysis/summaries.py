@@ -1,0 +1,156 @@
+"""Per-function summaries: the facts the :class:`SummaryEngine` composes.
+
+Zhou et al. (arXiv 2310.10298) and Zhang et al. (arXiv 2401.01114) both
+scale whole-program unsafe-memory / deadlock analysis the same way: walk
+the call graph bottom-up and compute, once per function, a *summary* that
+callers can apply at their call sites without re-analysing the callee.
+:class:`FunctionSummary` is our summary lattice; every field is a may-set
+(or a flag that only flips ``False → True``), so iterating a strongly
+connected component of the call graph to a fixpoint converges exactly.
+
+Fields and their join direction:
+
+* ``returns`` — what the return value may alias: argument positions
+  (ints), ``"null"``, ``"heap"`` (a fresh allocation made somewhere in the
+  call tree), ``"unknown"``.  Subsumes the old ``compute_return_summaries``
+  shape (which only knew args and null).
+* ``const_return`` — the constant integer the function always returns, if
+  any (feeds the buffer-overflow detector's constant propagation).
+* ``may_drop_args`` — argument positions whose (by-value, droppable) value
+  may be dropped by the time the function returns; the value is the next
+  ``(function, arg position)`` hop of the drop chain, with a self-hop
+  ``(own key, position)`` meaning "dropped in this very body".
+* ``arg_escapes`` — argument positions whose value is passed on to
+  unknown/FFI code; same hop encoding.
+* ``locks`` — caller-translatable locks the function may acquire
+  (transitively, same thread); the value is ``None`` for a direct
+  acquisition or the ``(callee, callee lock)`` hop it came through.
+* ``locks_held_on_return`` — locks still held when the function returns
+  (a returned guard), in the same 4-tuple id format.
+* ``acquires_any_lock`` — does any lock acquisition happen in the call
+  tree (used by interior-mutability suppression)?
+* ``calls_unknown`` — does the call tree reach FFI or an unresolved
+  function?  The soundness fallback bit: facts about such functions are
+  lower-bounds only.
+
+Lock ids are the caller-translatable 4-tuples of
+:func:`repro.analysis.callgraph.direct_locks`:
+``(kind_of_id, payload, projection, lock_kind)`` with ``kind_of_id`` one
+of ``"arg"`` / ``"static"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.lifetime import resolve_ref_chain
+from repro.hir.builtins import BuiltinOp
+from repro.mir.nodes import Body, RvalueKind, StatementKind, TerminatorKind
+
+#: ``(kind_of_id, payload, projection, lock_kind)``.
+LockId = Tuple
+
+#: One hop of a cross-function effect chain: (function key, arg position).
+EffectHop = Tuple[str, int]
+
+
+@dataclass
+class FunctionSummary:
+    """Composable interprocedural facts about one function."""
+
+    key: str
+    returns: FrozenSet = frozenset()
+    const_return: Optional[int] = None
+    may_drop_args: Dict[int, EffectHop] = field(default_factory=dict)
+    arg_escapes: Dict[int, EffectHop] = field(default_factory=dict)
+    locks: Dict[LockId, Optional[Tuple[str, LockId]]] = \
+        field(default_factory=dict)
+    locks_held_on_return: FrozenSet[LockId] = frozenset()
+    acquires_any_lock: bool = False
+    calls_unknown: bool = False
+
+    def drops_arg(self, position: int) -> bool:
+        return position in self.may_drop_args
+
+    def lock_kinds(self) -> Set[str]:
+        return {lock[3] for lock in self.locks}
+
+
+def value_chain(body: Body, seed: int) -> Set[int]:
+    """Locals the value initially in ``seed`` may flow through (moves and
+    unwrap-style extractions)."""
+    ref_map: Dict[int, int] = {}
+    for _bb, _i, stmt in body.iter_statements():
+        if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
+                and stmt.rvalue is not None \
+                and stmt.rvalue.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF) \
+                and stmt.rvalue.place.is_local:
+            ref_map[stmt.place.local] = stmt.rvalue.place.local
+    chain = {seed}
+    changed = True
+    extract_ops = {BuiltinOp.UNWRAP, BuiltinOp.EXPECT, BuiltinOp.TAKE,
+                   BuiltinOp.OK_METHOD}
+    while changed:
+        changed = False
+        for _bb, _i, stmt in body.iter_statements():
+            if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
+                    and stmt.rvalue is not None \
+                    and stmt.rvalue.kind is RvalueKind.USE:
+                op = stmt.rvalue.operands[0]
+                if op.place is not None and op.place.is_local \
+                        and op.place.local in chain \
+                        and stmt.place.local not in chain \
+                        and not op.place.projection:
+                    chain.add(stmt.place.local)
+                    changed = True
+        for _bb, term in body.iter_terminators():
+            if term.kind is not TerminatorKind.CALL or term.func is None:
+                continue
+            if term.func.builtin_op in extract_ops and term.args:
+                arg = term.args[0]
+                if arg.place is not None and arg.place.is_local:
+                    src = ref_map.get(arg.place.local, arg.place.local)
+                    if src in chain and term.destination is not None \
+                            and term.destination.is_local \
+                            and term.destination.local not in chain:
+                        chain.add(term.destination.local)
+                        changed = True
+    return chain
+
+
+def owned_value_args(body: Body) -> List[int]:
+    """Argument positions (0-based) passed by value whose type runs drop
+    glue — the candidates for may-drop / escape facts."""
+    positions = []
+    for position in range(body.arg_count):
+        ty = body.local_ty(position + 1)
+        if ty.needs_drop and not ty.is_pointer_like:
+            positions.append(position)
+    return positions
+
+
+def term_arg_sources(body: Body, term) -> List[Optional[int]]:
+    """For each call operand: the caller argument position it carries
+    (following reference/copy chains), or None."""
+    sources: List[Optional[int]] = []
+    for arg in term.args:
+        if arg.place is None:
+            sources.append(None)
+            continue
+        base, _proj = resolve_ref_chain(body, arg.place.local)
+        sources.append(base - 1 if 0 < base <= body.arg_count else None)
+    return sources
+
+
+def translate_lock(lock: LockId,
+                   sources: List[Optional[int]]) -> Optional[LockId]:
+    """Translate a callee lock id into the caller's frame using the call
+    site's operand → caller-argument mapping (statics pass through)."""
+    if lock[0] == "static":
+        return lock
+    if lock[0] == "arg":
+        index = lock[1]
+        if index < len(sources) and sources[index] is not None:
+            return ("arg", sources[index], lock[2], lock[3])
+    return None

@@ -4,6 +4,7 @@ Subcommands::
 
     minirust check FILE [--detector NAME]... [--json] [--profile]
                                                run static detectors
+    minirust detectors                         list every detector name
     minirust explain FILE                      findings + provenance trails
     minirust run FILE [--seed N] [--races]     interpret (Miri-like)
     minirust mir FILE [--fn NAME]              dump MIR
@@ -59,7 +60,28 @@ def _check_report(args):
     return run_all_detectors(compiled)
 
 
+def _cmd_detectors(args) -> int:
+    """Print every registry detector with its one-line description."""
+    from repro.detectors.registry import detector_catalog
+    catalog = detector_catalog()
+    if getattr(args, "json", False):
+        print(json.dumps(catalog, indent=2))
+        return 0
+    width = max(len(entry["name"]) for entry in catalog)
+    for entry in catalog:
+        section = f" [§{entry['paper_section']}]" \
+            if entry["paper_section"] else ""
+        print(f"{entry['name']:<{width}}  {entry['description']}{section}")
+    return 0
+
+
 def _cmd_check(args) -> int:
+    if args.list_detectors:
+        return _cmd_detectors(args)
+    if args.file is None:
+        print("usage: minirust check FILE (or --list-detectors)",
+              file=sys.stderr)
+        return 2
     report = _check_report(args)
     if report is None:
         return 2
@@ -257,8 +279,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("check", help="run static bug detectors")
-    p.add_argument("file")
+    p.add_argument("file", nargs="?", default=None)
     p.add_argument("--detector", action="append", default=[])
+    p.add_argument("--list-detectors", action="store_true",
+                   help="list every detector name and exit")
     p.add_argument("--advice", action="store_true",
                    help="print the paper's fix strategy for each finding")
     p.add_argument("--json", action="store_true",
@@ -266,6 +290,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--profile", action="store_true",
                    help="print the phase/detector timing tree")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("detectors", help="list every registry detector "
+                                         "with its description")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_detectors)
 
     p = sub.add_parser("explain", help="findings with their provenance "
                                        "trails")

@@ -36,7 +36,8 @@ class AppProfile:
 #: Figure 8 double lock.
 APP_PROFILES: Dict[str, AppProfile] = {
     "servo_like": AppProfile("servo_like", benign_modules=10, bug_mix={
-        "uaf_drop_deref": 2, "uaf_escape_ffi": 1, "double_free_ptr_read": 1,
+        "uaf_drop_deref": 2, "uaf_escape_ffi": 1, "uaf_free_in_callee": 1,
+        "double_free_ptr_read": 1,
         "overflow_unchecked": 2, "double_lock_if": 1,
         "channel_no_sender": 1, "sync_unsync_write": 1, "null_deref": 1,
     }),

@@ -17,6 +17,7 @@ channel_no_sender      §6.1 channel bugs                      channel
 once_recursion         §6.1 Once bug                          once-recursion
 uaf_drop_deref         Figure 7 shape                         use-after-free
 uaf_escape_ffi         Figure 7 (CMS_sign)                    use-after-free
+uaf_free_in_callee     §7.1 inter-procedural free             use-after-free
 double_free_ptr_read   §5.1 ptr::read duplication             double-free
 invalid_free_assign    Figure 6 (Redox)                       invalid-free
 uninit_read            §5.1 uninitialised reads               uninit-read
@@ -192,6 +193,29 @@ fn bug_{u}(data: Option<i32>) {{
 """
 
 
+def _uaf_free_in_callee(u: str) -> str:
+    # The free is two calls deep: bug_ moves the buffer into sink_, which
+    # forwards it to sink_inner_, where it dies.  Only the summary
+    # engine's may-drop chain sees that the pointer is dangling.
+    return f"""
+fn sink_inner_{u}(v: Vec<i32>) {{
+    print(1);
+}}
+fn sink_{u}(v: Vec<i32>) {{
+    sink_inner_{u}(v);
+}}
+fn bug_{u}() {{
+    let buffer = vec![1, 2, 3];
+    let p = buffer.as_ptr();
+    sink_{u}(buffer);
+    unsafe {{
+        let x = *p;
+        print(x);
+    }}
+}}
+"""
+
+
 def _double_free_ptr_read(u: str) -> str:
     return f"""
 fn bug_{u}(v: Vec<i32>) {{
@@ -311,6 +335,8 @@ BUG_TEMPLATES: Dict[str, BugTemplate] = {
                                   "use-after-free", _uaf_drop_deref),
     "uaf_escape_ffi": BugTemplate("uaf_escape_ffi", BugKind.MEMORY,
                                   "use-after-free", _uaf_escape_ffi),
+    "uaf_free_in_callee": BugTemplate("uaf_free_in_callee", BugKind.MEMORY,
+                                      "use-after-free", _uaf_free_in_callee),
     "double_free_ptr_read": BugTemplate("double_free_ptr_read",
                                         BugKind.MEMORY, "double-free",
                                         _double_free_ptr_read),

@@ -2,24 +2,29 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro import obs
-from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import SummaryEngine
 from repro.analysis.init import compute_init
 from repro.analysis.lifetime import (
     GuardRegion, StorageRanges, compute_guard_regions, compute_storage_ranges,
 )
-from repro.analysis.points_to import (
-    PointsTo, compute_points_to, compute_return_summaries,
-)
+from repro.analysis.points_to import PointsTo
+from repro.analysis.summaries import FunctionSummary
 from repro.detectors.report import Finding
 from repro.mir.nodes import Body, Program
 
 
 class AnalysisContext:
     """Caches per-body and per-program analyses so detectors share work.
+
+    Interprocedural facts (points-to with return summaries, function
+    summaries, the call graph) are owned by one
+    :class:`~repro.analysis.engine.SummaryEngine` instance; the context
+    keeps the purely intraprocedural caches (guard regions, storage
+    ranges, init states) itself.
 
     Every pass records an obs cache hit/miss counter and runs its compute
     under an ``analysis.<pass>`` span, so ``--profile`` shows where the
@@ -28,16 +33,20 @@ class AnalysisContext:
     Cache keys are tuples (``(body.key, include_try)`` for guard
     regions), never concatenated strings — a body literally named
     ``foo#try`` must not collide with the cached try-variant of ``foo``.
+
+    ``interprocedural=False`` is the ablation switch: every function
+    summary collapses to the bottom element and points-to runs without
+    return summaries, which is what the benchmarks use to measure the
+    interprocedural layer's contribution.
     """
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program,
+                 interprocedural: bool = True) -> None:
         self.program = program
-        self._points_to: Dict[str, PointsTo] = {}
+        self.engine = SummaryEngine(program, interprocedural=interprocedural)
         self._guard_regions: Dict[Tuple[str, bool], List[GuardRegion]] = {}
         self._storage_ranges: Dict[str, StorageRanges] = {}
         self._init_states: Dict[str, dict] = {}
-        self._call_graph: Optional[CallGraph] = None
-        self._return_summaries: Optional[Dict[str, set]] = None
 
     def _lookup(self, cache: Dict, key, pass_name: str, compute):
         hit = cache.get(key)
@@ -52,26 +61,28 @@ class AnalysisContext:
 
     @property
     def return_summaries(self) -> Dict[str, set]:
-        if self._return_summaries is None:
-            obs.count("analysis.return_summaries.miss")
-            with obs.span("analysis.return_summaries"):
-                self._return_summaries = compute_return_summaries(
-                    self.program)
-        else:
-            obs.count("analysis.return_summaries.hit")
-        return self._return_summaries
+        return self.engine.return_summaries()
 
     def points_to(self, body: Body) -> PointsTo:
-        return self._lookup(
-            self._points_to, body.key, "points_to",
-            lambda: compute_points_to(body, self.return_summaries))
+        return self.engine.points_to(body)
+
+    def summary(self, key: str) -> FunctionSummary:
+        """The engine's converged summary for one function key."""
+        return self.engine.summary(key)
+
+    def lock_chain(self, key: str, lock) -> List[str]:
+        return self.engine.lock_chain(key, lock)
+
+    def drop_chain(self, key: str, position: int) -> List[str]:
+        return self.engine.drop_chain(key, position)
 
     def guard_regions(self, body: Body,
                       include_try: bool = False) -> List[GuardRegion]:
         return self._lookup(
             self._guard_regions, (body.key, include_try), "guard_regions",
             lambda: compute_guard_regions(
-                body, self.points_to(body), include_try=include_try))
+                body, self.points_to(body), include_try=include_try,
+                summaries=self.engine.summaries_map()))
 
     def storage_ranges(self, body: Body) -> StorageRanges:
         return self._lookup(
@@ -85,13 +96,7 @@ class AnalysisContext:
 
     @property
     def call_graph(self) -> CallGraph:
-        if self._call_graph is None:
-            obs.count("analysis.call_graph.miss")
-            with obs.span("analysis.call_graph"):
-                self._call_graph = build_call_graph(self.program)
-        else:
-            obs.count("analysis.call_graph.hit")
-        return self._call_graph
+        return self.engine.call_graph
 
 
 class Detector:

@@ -42,7 +42,7 @@ class BufferOverflowDetector(Detector):
         findings: List[Finding] = []
         cfg = Cfg(body)
         lengths = self._known_lengths(body)
-        consts = self._const_locals(body)
+        consts = self._const_locals(ctx, body)
         guarded = self._guarded_blocks(body, cfg)
 
         for bb, term in body.iter_terminators():
@@ -125,22 +125,38 @@ class BufferOverflowDetector(Detector):
                         lengths[stmt.place.local] = lengths[op.place.local]
         return lengths
 
-    def _const_locals(self, body: Body) -> Dict[int, int]:
-        """Locals assigned a constant integer exactly once."""
+    def _const_locals(self, ctx: AnalysisContext,
+                      body: Body) -> Dict[int, int]:
+        """Locals assigned a constant integer exactly once.  A call to a
+        function whose summary has a ``const_return`` counts as a constant
+        assignment, so indices computed by helpers propagate."""
         consts: Dict[int, Optional[int]] = {}
+
+        def record(local: int, value: Optional[int]) -> None:
+            if local in consts:
+                consts[local] = None      # multiple assignments: unknown
+            else:
+                consts[local] = value
+
         for _bb, _i, stmt in body.iter_statements():
             if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local:
-                local = stmt.place.local
                 rv = stmt.rvalue
                 value: Optional[int] = None
                 if rv is not None and rv.kind is RvalueKind.USE \
                         and rv.operands[0].is_const \
                         and isinstance(rv.operands[0].constant.value, int):
                     value = rv.operands[0].constant.value
-                if local in consts:
-                    consts[local] = None      # multiple assignments: unknown
-                else:
-                    consts[local] = value
+                record(stmt.place.local, value)
+        from repro.hir.builtins import FuncKind
+        for _bb, term in body.iter_terminators():
+            if term.kind is not TerminatorKind.CALL or term.func is None \
+                    or term.destination is None \
+                    or not term.destination.is_local:
+                continue
+            value = None
+            if term.func.kind in (FuncKind.USER, FuncKind.CLOSURE):
+                value = ctx.summary(term.func.user_fn).const_return
+            record(term.destination.local, value)
         return {l: v for l, v in consts.items() if v is not None}
 
     def _guarded_blocks(self, body: Body, cfg: Cfg) -> Dict[int, Set[int]]:

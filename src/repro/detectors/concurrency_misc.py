@@ -123,10 +123,17 @@ class ChannelDetector(Detector):
                     sender_body = program.functions.get(sender_fn)
                     if sender_body is None:
                         continue
-                    sender_pt = ctx.points_to(sender_body)
+                    # Statics the sender's summary says it (transitively)
+                    # locks: these count even when the acquisition sits in
+                    # a helper the sender calls.
+                    summary_static = {
+                        ("static", lock[1], lock[2])
+                        for lock in ctx.summary(sender_fn).locks
+                        if lock[0] == "static"}
                     for sregion in ctx.guard_regions(sender_body):
                         sender_global = {i for i in sregion.lock_ids
                                          if i[0] in ("static", "heap")}
+                        sender_global |= summary_static
                         if held_global & sender_global:
                             findings.append(Finding(
                                 detector=self.name,

@@ -19,10 +19,10 @@ lock).  ``try_lock`` variants never block, so they are excluded, and two
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import List
 
 from repro.analysis.lifetime import (
-    LOCK_ACQUIRE_OPS, GuardRegion, lock_identity, resolve_ref_chain,
+    LOCK_ACQUIRE_OPS, GuardRegion, caller_lock_ids, lock_identity,
 )
 from repro.detectors.base import AnalysisContext, Detector
 from repro.detectors.report import Finding, Severity
@@ -52,7 +52,6 @@ class DoubleLockDetector(Detector):
         findings: List[Finding] = []
         pt = ctx.points_to(body)
         regions = ctx.guard_regions(body)
-        graph = ctx.call_graph if self.interprocedural else None
 
         for region in regions:
             if region.is_try:
@@ -76,6 +75,30 @@ class DoubleLockDetector(Detector):
                 if not _kinds_conflict(region.kind, second_kind):
                     continue
                 shared_ids = second_ids & region.lock_ids
+                provenance = [
+                    fact("guard-region",
+                         f"lifetime analysis: guard from "
+                         f"`{region.op.value}` (kind {region.kind}) "
+                         f"acquired in block {region.acquire_block} is "
+                         f"still live at block {bb}",
+                         acquire_block=region.acquire_block,
+                         lock_kind=region.kind, op=region.op),
+                    fact("lock-identity",
+                         f"points-to analysis: both acquisitions "
+                         f"resolve to the same lock",
+                         shared=shared_ids),
+                    fact("reacquire",
+                         f"second acquisition `{term.func.name}` "
+                         f"(kind {second_kind}) at block {bb} conflicts "
+                         f"with the held {region.kind} guard",
+                         block=bb, lock_kind=second_kind)]
+                if region.via_call is not None:
+                    provenance.append(fact(
+                        "summary-chain",
+                        f"summary engine: the held guard was returned by "
+                        f"`{region.via_call}` (its summary holds this lock "
+                        f"on return)",
+                        chain=[body.key, region.via_call]))
                 findings.append(Finding(
                     detector=self.name, kind="double-lock",
                     message=(f"lock acquired by `{term.func.name}` while the "
@@ -87,33 +110,17 @@ class DoubleLockDetector(Detector):
                               "acquire_block": region.acquire_block,
                               "reacquire_block": bb,
                               "interprocedural": False},
-                    provenance=[
-                        fact("guard-region",
-                             f"lifetime analysis: guard from "
-                             f"`{region.op.value}` (kind {region.kind}) "
-                             f"acquired in block {region.acquire_block} is "
-                             f"still live at block {bb}",
-                             acquire_block=region.acquire_block,
-                             lock_kind=region.kind, op=region.op),
-                        fact("lock-identity",
-                             f"points-to analysis: both acquisitions "
-                             f"resolve to the same lock",
-                             shared=shared_ids),
-                        fact("reacquire",
-                             f"second acquisition `{term.func.name}` "
-                             f"(kind {second_kind}) at block {bb} conflicts "
-                             f"with the held {region.kind} guard",
-                             block=bb, lock_kind=second_kind)]))
+                    provenance=provenance))
             # Inter-procedural: a call inside the region to a function that
             # (transitively) locks the same lock.
-            if graph is None:
+            if not self.interprocedural:
                 continue
             findings.extend(self._check_calls_in_region(
-                ctx, body, pt, region, graph))
+                ctx, body, pt, region))
         return findings
 
     def _check_calls_in_region(self, ctx, body: Body, pt,
-                               region: GuardRegion, graph) -> List[Finding]:
+                               region: GuardRegion) -> List[Finding]:
         findings: List[Finding] = []
         for bb, term in body.iter_terminators():
             if term.kind is not TerminatorKind.CALL or term.func is None:
@@ -124,15 +131,16 @@ class DoubleLockDetector(Detector):
             if not region.covers(point):
                 continue
             callee = term.func.user_fn
-            summary = graph.lock_summaries.get(callee, set())
-            if not summary:
+            summary = ctx.summary(callee)
+            if not summary.locks:
                 continue
-            for lock in summary:
+            for lock in summary.locks:
                 id_kind, payload, proj, lock_kind = lock
                 if not _kinds_conflict(region.kind, lock_kind):
                     continue
-                caller_ids = self._caller_ids_for(body, pt, term, lock)
+                caller_ids = caller_lock_ids(body, pt, term, lock)
                 if caller_ids & region.lock_ids:
+                    chain = [body.key] + ctx.lock_chain(callee, lock)
                     findings.append(Finding(
                         detector=self.name, kind="double-lock",
                         message=(f"call to `{callee}` while the guard from "
@@ -154,7 +162,7 @@ class DoubleLockDetector(Detector):
                                  acquire_block=region.acquire_block,
                                  lock_kind=region.kind, op=region.op),
                             fact("lock-summary",
-                                 f"call-graph lock summary: `{callee}` "
+                                 f"function summary: `{callee}` "
                                  f"(transitively) acquires a {lock_kind} "
                                  f"lock",
                                  callee=callee, lock_kind=lock_kind,
@@ -162,25 +170,11 @@ class DoubleLockDetector(Detector):
                             fact("lock-identity",
                                  f"points-to analysis: the callee's lock "
                                  f"resolves to the caller's held lock",
-                                 shared=caller_ids & region.lock_ids)]))
+                                 shared=caller_ids & region.lock_ids),
+                            fact("summary-chain",
+                                 f"summary engine: the acquisition reaches "
+                                 f"the lock along "
+                                 f"{' → '.join(chain)}",
+                                 chain=chain)]))
                     break
         return findings
-
-    def _caller_ids_for(self, body: Body, pt, term, lock) -> FrozenSet:
-        """Translate a callee lock id into caller lock-identity space."""
-        id_kind, payload, proj, _lock_kind = lock
-        if id_kind == "static":
-            return frozenset({("static", payload, proj)})
-        if id_kind == "arg":
-            index = payload
-            if index >= len(term.args) or term.args[index].place is None:
-                return frozenset()
-            arg_local = term.args[index].place.local
-            base_ids = lock_identity(body, pt, arg_local)
-            if not proj:
-                return base_ids
-            out = set()
-            for ident in base_ids:
-                out.add((ident[0], ident[1], tuple(ident[2]) + tuple(proj)))
-            return frozenset(out)
-        return frozenset()

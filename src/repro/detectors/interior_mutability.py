@@ -27,7 +27,6 @@ from repro.mir.cfg import Cfg
 from repro.mir.nodes import (
     Body, RvalueKind, StatementKind, TerminatorKind,
 )
-from repro.analysis.lifetime import LOCK_ACQUIRE_OPS
 
 
 def _is_self_method(body: Body) -> bool:
@@ -52,12 +51,13 @@ def _struct_is_shared(ctx: AnalysisContext, struct_name: str) -> bool:
     return False
 
 
-def _body_acquires_lock(body: Body) -> bool:
-    for _bb, term in body.iter_terminators():
-        if term.kind is TerminatorKind.CALL and term.func is not None \
-                and term.func.builtin_op in LOCK_ACQUIRE_OPS:
-            return True
-    return False
+def _may_synchronise(ctx: AnalysisContext, body: Body) -> bool:
+    """Does this method (or anything it calls, transitively) acquire a
+    lock?  The function summary's ``acquires_any_lock`` covers helpers
+    like ``self.lock_then_write()``; ``calls_unknown`` is the soundness
+    fallback — unresolved code might synchronise, so do not report."""
+    summary = ctx.summary(body.key)
+    return summary.acquires_any_lock or summary.calls_unknown
 
 
 class SyncUnsyncWriteDetector(Detector):
@@ -73,7 +73,7 @@ class SyncUnsyncWriteDetector(Detector):
         struct_name = body.self_ty.name
         if not _struct_is_shared(ctx, struct_name):
             return findings
-        if _body_acquires_lock(body):
+        if _may_synchronise(ctx, body):
             return findings
 
         pt = ctx.points_to(body)

@@ -3,9 +3,9 @@
 The paper attributes seven of its blocking bugs to "acquiring locks in
 conflicting orders" (§6.1).  We build a lock-order graph: an edge
 ``L1 → L2`` is recorded whenever ``L2`` is acquired inside the guard
-region of ``L1`` (intra-procedurally, or via a call to a function whose
-summary locks ``L2``).  A cycle among globally identifiable locks
-(statics, heap allocation sites) is a potential ABBA deadlock.
+region of ``L1`` — intra-procedurally, or via a call to a function whose
+summary (transitively) locks ``L2``.  A cycle among globally identifiable
+locks (statics, heap allocation sites) is a potential ABBA deadlock.
 """
 
 from __future__ import annotations
@@ -14,9 +14,12 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 import networkx as nx
 
-from repro.analysis.lifetime import LOCK_ACQUIRE_OPS, lock_identity
+from repro.analysis.lifetime import (
+    LOCK_ACQUIRE_OPS, caller_lock_ids, lock_identity,
+)
 from repro.detectors.base import AnalysisContext, Detector
 from repro.detectors.report import Finding, Severity
+from repro.hir.builtins import FuncKind
 from repro.lang.source import Span
 from repro.mir.nodes import Body, TerminatorKind
 
@@ -47,15 +50,23 @@ class LockOrderDetector(Detector):
                 for bb, term in body.iter_terminators():
                     if term.kind is not TerminatorKind.CALL or term.func is None:
                         continue
-                    if LOCK_ACQUIRE_OPS.get(term.func.builtin_op) is None:
-                        continue
                     point = (bb, len(body.blocks[bb].statements))
                     if bb == region.acquire_block or not region.covers(point):
                         continue
-                    if not term.args or term.args[0].place is None:
-                        continue
-                    second_ids = _global_ids(lock_identity(
-                        body, pt, term.args[0].place.local))
+                    second_ids: Set[Tuple] = set()
+                    if LOCK_ACQUIRE_OPS.get(term.func.builtin_op) is not None:
+                        if not term.args or term.args[0].place is None:
+                            continue
+                        second_ids = _global_ids(lock_identity(
+                            body, pt, term.args[0].place.local))
+                    elif term.func.kind in (FuncKind.USER, FuncKind.CLOSURE):
+                        # A call inside the region: every lock the callee's
+                        # summary (transitively) acquires is ordered after
+                        # the held one.
+                        summary = ctx.summary(term.func.user_fn)
+                        for lock in summary.locks:
+                            second_ids |= _global_ids(
+                                caller_lock_ids(body, pt, term, lock))
                     for first in firsts:
                         for second in second_ids:
                             if first == second:

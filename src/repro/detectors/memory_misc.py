@@ -19,10 +19,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.lifetime import resolve_ref_chain
+from repro.analysis.summaries import value_chain
 from repro.detectors.base import AnalysisContext, Detector
 from repro.detectors.report import Finding, Severity
-from repro.detectors.use_after_free import value_chain
-from repro.hir.builtins import BuiltinOp
+from repro.hir.builtins import BuiltinOp, FuncKind
 from repro.mir.cfg import Cfg
 from repro.mir.nodes import (
     Body, RvalueKind, StatementKind, TerminatorKind,
@@ -62,8 +62,8 @@ class DoubleFreeDetector(Detector):
             # Both the original and the duplicate reach a drop?
             orig_chain = value_chain(body, src_base)
             dup_chain = value_chain(body, dup)
-            orig_dropped = self._chain_dropped(body, orig_chain)
-            dup_dropped = self._chain_dropped(body, dup_chain)
+            orig_dropped = self._chain_dropped(ctx, body, orig_chain)
+            dup_dropped = self._chain_dropped(ctx, body, dup_chain)
             forgotten = self._chain_forgotten(body, orig_chain | dup_chain)
             if orig_dropped and dup_dropped and not forgotten:
                 src_name = body.locals[src_base].name or f"_{src_base}"
@@ -78,16 +78,28 @@ class DoubleFreeDetector(Detector):
         return findings
 
     @staticmethod
-    def _chain_dropped(body: Body, chain: Set[int]) -> bool:
+    def _chain_dropped(ctx: AnalysisContext, body: Body,
+                       chain: Set[int]) -> bool:
         for _bb, _i, stmt in body.iter_statements():
             if stmt.kind is StatementKind.DROP and stmt.place.is_local \
                     and stmt.place.local in chain:
                 return True
         for _bb, term in body.iter_terminators():
-            if term.kind is TerminatorKind.CALL and term.func is not None \
-                    and term.func.builtin_op is BuiltinOp.MEM_DROP:
+            if term.kind is not TerminatorKind.CALL or term.func is None:
+                continue
+            if term.func.builtin_op is BuiltinOp.MEM_DROP:
                 for arg in term.args:
                     if arg.place is not None and arg.place.local in chain:
+                        return True
+            elif term.func.kind in (FuncKind.USER, FuncKind.CLOSURE) \
+                    and term.func.builtin_op is not BuiltinOp.THREAD_SPAWN:
+                # Moved into a callee whose summary drops that argument:
+                # the value dies inside the call tree.
+                summary = ctx.summary(term.func.user_fn)
+                for j, arg in enumerate(term.args):
+                    if arg.place is not None and arg.is_move \
+                            and arg.place.local in chain \
+                            and summary.drops_arg(j):
                         return True
         return False
 

@@ -59,6 +59,14 @@ def detector_by_name(name: str) -> Optional[Type[Detector]]:
     return None
 
 
+def detector_catalog() -> List[Dict[str, str]]:
+    """Name, description and paper section of every registered detector,
+    in report order — the data behind ``minirust detectors``."""
+    return [{"name": cls.name, "description": cls.description,
+             "paper_section": cls.paper_section}
+            for cls in ALL_DETECTORS]
+
+
 def run_detectors(program, detectors: Optional[List[Detector]] = None,
                   source=None) -> Report:
     """Run detectors over a MIR program and return a deduplicated report.

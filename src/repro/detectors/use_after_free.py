@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.dataflow import statement_states
 from repro.analysis.init import MaybeInitAnalysis
+from repro.analysis.summaries import value_chain
 from repro.detectors.base import AnalysisContext, Detector
 from repro.detectors.report import Finding, Severity
 from repro.hir.builtins import BuiltinOp, FuncKind
@@ -33,6 +34,8 @@ from repro.mir.cfg import Cfg
 from repro.mir.nodes import (
     Body, Operand, Place, RvalueKind, StatementKind, TerminatorKind,
 )
+
+__all__ = ["UseAfterFreeDetector", "DanglingReturnDetector", "value_chain"]
 
 _ALLOC_OPS = {
     BuiltinOp.BOX_NEW, BuiltinOp.RC_NEW, BuiltinOp.ARC_NEW,
@@ -42,48 +45,6 @@ _ALLOC_OPS = {
 }
 _PTR_USE_OPS = {BuiltinOp.PTR_READ, BuiltinOp.PTR_WRITE, BuiltinOp.PTR_COPY,
                 BuiltinOp.PTR_COPY_NONOVERLAPPING}
-
-
-def value_chain(body: Body, seed: int) -> Set[int]:
-    """Locals the value initially in ``seed`` may flow through (moves and
-    unwrap-style extractions)."""
-    ref_map: Dict[int, int] = {}
-    for _bb, _i, stmt in body.iter_statements():
-        if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
-                and stmt.rvalue is not None \
-                and stmt.rvalue.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF) \
-                and stmt.rvalue.place.is_local:
-            ref_map[stmt.place.local] = stmt.rvalue.place.local
-    chain = {seed}
-    changed = True
-    extract_ops = {BuiltinOp.UNWRAP, BuiltinOp.EXPECT, BuiltinOp.TAKE,
-                   BuiltinOp.OK_METHOD}
-    while changed:
-        changed = False
-        for _bb, _i, stmt in body.iter_statements():
-            if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
-                    and stmt.rvalue is not None \
-                    and stmt.rvalue.kind is RvalueKind.USE:
-                op = stmt.rvalue.operands[0]
-                if op.place is not None and op.place.is_local \
-                        and op.place.local in chain \
-                        and stmt.place.local not in chain \
-                        and not op.place.projection:
-                    chain.add(stmt.place.local)
-                    changed = True
-        for _bb, term in body.iter_terminators():
-            if term.kind is not TerminatorKind.CALL or term.func is None:
-                continue
-            if term.func.builtin_op in extract_ops and term.args:
-                arg = term.args[0]
-                if arg.place is not None and arg.place.is_local:
-                    src = ref_map.get(arg.place.local, arg.place.local)
-                    if src in chain and term.destination is not None \
-                            and term.destination.is_local \
-                            and term.destination.local not in chain:
-                        chain.add(term.destination.local)
-                        changed = True
-    return chain
 
 
 class UseAfterFreeDetector(Detector):
@@ -109,8 +70,8 @@ class UseAfterFreeDetector(Detector):
                 site = f"{body.key}:{bb}"
                 site_chains[site] = value_chain(body, term.destination.local)
 
-        freed = self._compute_freed(body, pt, site_chains, init_entry,
-                                    init_analysis)
+        freed, drop_reasons = self._compute_freed(
+            ctx, body, pt, site_chains, init_entry, init_analysis)
 
         # Scan every deref / pointer-escaping use.
         for block in body.blocks:
@@ -122,11 +83,11 @@ class UseAfterFreeDetector(Detector):
                     for place in self._rvalue_deref_places(body, stmt.rvalue):
                         findings.extend(self._check_deref(
                             ctx, body, pt, ranges, state, place, point,
-                            stmt.span))
+                            stmt.span, drop_reasons))
                     if stmt.place.has_deref:
                         findings.extend(self._check_deref(
                             ctx, body, pt, ranges, state, stmt.place, point,
-                            stmt.span))
+                            stmt.span, drop_reasons))
             term = block.terminator
             if term is None or term.kind is not TerminatorKind.CALL:
                 continue
@@ -140,7 +101,7 @@ class UseAfterFreeDetector(Detector):
                 if arg.place.has_deref:
                     findings.extend(self._check_deref(
                         ctx, body, pt, ranges, state, arg.place, point,
-                        term.span))
+                        term.span, drop_reasons))
                     continue
                 if not base_ty.is_raw_ptr:
                     continue
@@ -154,17 +115,22 @@ class UseAfterFreeDetector(Detector):
                         ctx, body, pt, ranges, state, arg.place.local, point,
                         term.span,
                         reason="dereferenced" if is_ptr_use else
-                        f"passed to `{func.name}`"))
+                        f"passed to `{func.name}`",
+                        drop_reasons=drop_reasons))
         return findings
 
     # -- freed-state dataflow ------------------------------------------------
 
-    def _compute_freed(self, body: Body, pt, site_chains, init_entry,
-                       init_analysis) -> Dict[Tuple[int, int], FrozenSet]:
+    def _compute_freed(self, ctx, body: Body, pt, site_chains, init_entry,
+                       init_analysis):
         """Forward may-freed facts per program point.
 
-        Facts: ``("heap", site)`` and ``("dropped", local)``.
+        Facts: ``("heap", site)`` and ``("dropped", local)``.  Returns
+        ``(point_states, drop_reasons)`` where ``drop_reasons`` maps a
+        fact to the ``(callee, arg position)`` whose summary freed it —
+        present only for frees that happen inside a callee.
         """
+        drop_reasons: Dict[Tuple, Tuple[str, int]] = {}
         chain_of: Dict[int, List[str]] = {}
         for site, chain in site_chains.items():
             for local in chain:
@@ -229,6 +195,23 @@ class UseAfterFreeDetector(Detector):
                     # owner no longer frees at scope end — nothing to do in
                     # a may-analysis.
                     pass
+                elif term.func.kind in (FuncKind.USER, FuncKind.CLOSURE) \
+                        and op is not BuiltinOp.THREAD_SPAWN:
+                    # The callee's summary says it drops an argument we
+                    # moved into it: the value is freed when it returns.
+                    callee = term.func.user_fn
+                    summary = ctx.summary(callee)
+                    for j, arg in enumerate(term.args):
+                        if arg.place is None or not arg.place.is_local \
+                                or not arg.is_move \
+                                or not summary.drops_arg(j):
+                            continue
+                        local = arg.place.local
+                        state.add(("dropped", local))
+                        drop_reasons[("dropped", local)] = (callee, j)
+                        for site in chain_of.get(local, []):
+                            state.add(("heap", site))
+                            drop_reasons[("heap", site)] = (callee, j)
                 if term.destination is not None and term.destination.is_local:
                     state.discard(("dropped", term.destination.local))
             if term is not None:
@@ -240,7 +223,7 @@ class UseAfterFreeDetector(Detector):
                     elif not state <= prev_in:
                         prev_in |= state
                         worklist.append(succ)
-        return point_states
+        return point_states, drop_reasons
 
     # -- deref checks -----------------------------------------------------------
 
@@ -254,19 +237,35 @@ class UseAfterFreeDetector(Detector):
         return places
 
     def _check_deref(self, ctx, body, pt, ranges, freed_state, place: Place,
-                     point, span) -> List[Finding]:
+                     point, span, drop_reasons=None) -> List[Finding]:
         base_ty = body.local_ty(place.local)
         if not base_ty.is_raw_ptr:
             return []
         return self._check_pointer(ctx, body, pt, ranges, freed_state,
                                    place.local, point, span,
-                                   reason="dereferenced")
+                                   reason="dereferenced",
+                                   drop_reasons=drop_reasons)
 
     def _check_pointer(self, ctx, body, pt, ranges, freed_state,
-                       pointer: int, point, span, reason: str) -> List[Finding]:
+                       pointer: int, point, span, reason: str,
+                       drop_reasons=None) -> List[Finding]:
         from repro.obs.provenance import fact
         findings: List[Finding] = []
         pointer_name = body.locals[pointer].name or f"_{pointer}"
+
+        def chain_fact(freed_fact):
+            """A summary-chain provenance fact when the free happened
+            inside a callee (appended after the core facts)."""
+            hop = (drop_reasons or {}).get(freed_fact)
+            if hop is None:
+                return None
+            callee, position = hop
+            chain = [body.key] + ctx.drop_chain(callee, position)
+            return fact("summary-chain",
+                        f"summary engine: `{callee}` may drop its "
+                        f"argument {position}; the value is freed along "
+                        f"{' → '.join(chain)}",
+                        chain=chain, callee=callee, position=position)
 
         def use_fact():
             return fact("pointer-use",
@@ -303,6 +302,16 @@ class UseAfterFreeDetector(Detector):
                             use_fact()]))
                 elif ("dropped", local) in freed_state:
                     target_name = body.locals[local].name or f"_{local}"
+                    provenance = [
+                        edge,
+                        fact("freed-state",
+                             f"may-freed dataflow: `{target_name}` was "
+                             f"dropped on a path reaching this point",
+                             state="dropped", local=target_name),
+                        use_fact()]
+                    extra = chain_fact(("dropped", local))
+                    if extra is not None:
+                        provenance.append(extra)
                     findings.append(Finding(
                         detector=self.name, kind="use-after-free",
                         message=(f"pointer `{pointer_name}` {reason} after "
@@ -310,15 +319,20 @@ class UseAfterFreeDetector(Detector):
                         fn_key=body.key, span=span,
                         metadata={"pointer": pointer, "target": local,
                                   "mode": "dropped"},
-                        provenance=[
-                            edge,
-                            fact("freed-state",
-                                 f"may-freed dataflow: `{target_name}` was "
-                                 f"dropped on a path reaching this point",
-                                 state="dropped", local=target_name),
-                            use_fact()]))
+                        provenance=provenance))
             elif target[0] == "heap":
                 if ("heap", target[1]) in freed_state:
+                    provenance = [
+                        edge,
+                        fact("freed-state",
+                             f"may-freed dataflow: allocation site "
+                             f"{target[1]} is freed on a path reaching "
+                             f"this point",
+                             state="heap-freed", site=target[1]),
+                        use_fact()]
+                    extra = chain_fact(("heap", target[1]))
+                    if extra is not None:
+                        provenance.append(extra)
                     findings.append(Finding(
                         detector=self.name, kind="use-after-free",
                         message=(f"pointer `{pointer_name}` {reason} after "
@@ -326,14 +340,7 @@ class UseAfterFreeDetector(Detector):
                         fn_key=body.key, span=span,
                         metadata={"pointer": pointer, "site": target[1],
                                   "mode": "heap-freed"},
-                        provenance=[
-                            edge,
-                            fact("freed-state",
-                                 f"may-freed dataflow: allocation site "
-                                 f"{target[1]} is freed on a path reaching "
-                                 f"this point",
-                                 state="heap-freed", site=target[1]),
-                            use_fact()]))
+                        provenance=provenance))
         return findings
 
 

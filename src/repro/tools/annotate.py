@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.analysis.lifetime import compute_guard_regions
+from repro.detectors.base import AnalysisContext
 from repro.lang.source import SourceFile
 from repro.mir.nodes import Body, StatementKind
 from repro.driver import CompiledProgram
@@ -37,6 +37,9 @@ class CriticalSection:
     acquire_line: Optional[int]
     held_lines: List[int]
     release_lines: List[int]
+    #: Set when the guard came back from a callee (summary engine's
+    #: held-on-return fact): the callee's function key.
+    via: Optional[str] = None
 
 
 @dataclass
@@ -59,8 +62,9 @@ class AnnotatedSource:
             span = f"{held[0]}..{held[-1]}" if held else "-"
             releases = "/".join(str(l) for l in sorted(set(cs.release_lines))) \
                 or "end of scope"
+            via = f" (guard returned by `{cs.via}`)" if cs.via else ""
             lines.append(f"  [{cs.kind} critical section] acquired line "
-                         f"{cs.acquire_line}, held over lines {span}, "
+                         f"{cs.acquire_line}{via}, held over lines {span}, "
                          f"implicit unlock at line {releases}")
         return "\n".join(lines)
 
@@ -115,14 +119,20 @@ def annotate_lifetimes(compiled: CompiledProgram,
 
 
 def annotate_critical_sections(compiled: CompiledProgram,
-                               fn_key: str) -> AnnotatedSource:
+                               fn_key: str,
+                               ctx: Optional[AnalysisContext] = None
+                               ) -> AnnotatedSource:
     """Critical-section annotations: where each lock is taken, held, and
-    implicitly released."""
+    implicitly released.  Guard regions come from the shared
+    :class:`AnalysisContext`, so sections opened by a callee that returns
+    its guard are annotated too (with the callee named)."""
     body = compiled.program.functions[fn_key]
     source = compiled.source
     out = AnnotatedSource(fn_key=fn_key, source=source)
+    if ctx is None:
+        ctx = AnalysisContext(compiled.program)
 
-    for region in compute_guard_regions(body):
+    for region in ctx.guard_regions(body):
         held_lines: List[int] = []
         for bb, i in sorted(region.points):
             block = body.blocks[bb]
@@ -149,5 +159,6 @@ def annotate_critical_sections(compiled: CompiledProgram,
             kind=region.kind,
             acquire_line=_line(source, region.span),
             held_lines=held_lines,
-            release_lines=release_lines))
+            release_lines=release_lines,
+            via=region.via_call))
     return out
