@@ -280,3 +280,68 @@ def test_summary_engine_artifact(monkeypatch):
          f"points-to computes: engine {engine_computes}, legacy "
          f"{legacy_computes} ({payload['computes_ratio']}x); wall: engine "
          f"{engine_wall * 1e3:.1f}ms, legacy {legacy_wall * 1e3:.1f}ms")
+
+
+BENCH_RACE_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_race.json"
+
+
+def test_race_detector_artifact():
+    """Time the lockset data-race detector over the corpus and write
+    ``BENCH_race.json`` — wall time plus finding counts, the floor a
+    future detector-perf PR optimises against.
+
+    The detector runs twice per file: alone (its marginal cost, the
+    interesting number) and as part of the full suite (the share of the
+    pipeline it occupies in practice).
+    """
+    import time
+
+    from repro.corpus.generator import generate_corpus
+    from repro.detectors.registry import detector_by_name, run_detectors
+
+    corpus = generate_corpus(seed=0, scale=1)
+    compiled = [compile_source(f.text, name=f.name) for f in corpus.files]
+    race_detector = detector_by_name("data-race")()
+
+    start = time.perf_counter()
+    race_findings = 0
+    files_with_races = 0
+    for c in compiled:
+        report = run_detectors(c.program, detectors=[race_detector],
+                               source=c.source)
+        if report.findings:
+            files_with_races += 1
+        race_findings += len(report.findings)
+    race_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    total_findings = 0
+    for c in compiled:
+        total_findings += len(run_detectors(c.program,
+                                            source=c.source).findings)
+    suite_wall = time.perf_counter() - start
+
+    injected_races = sum(1 for bug in corpus.injected
+                         if bug.template.detector == "data-race")
+    assert race_findings >= injected_races, \
+        (race_findings, injected_races)
+
+    payload = {
+        "corpus": {"files": len(corpus.files), "loc": corpus.total_loc,
+                   "injected_races": injected_races},
+        "race_detector": {"wall_s": round(race_wall, 6),
+                          "findings": race_findings,
+                          "files_with_findings": files_with_races},
+        "full_suite": {"wall_s": round(suite_wall, 6),
+                       "findings": total_findings},
+    }
+    BENCH_RACE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    round_trip = json.loads(BENCH_RACE_PATH.read_text())
+    assert round_trip["race_detector"]["findings"] == race_findings
+    emit("lockset race detector over the corpus",
+         f"BENCH_race.json: {race_findings} findings "
+         f"({injected_races} injected) in {len(corpus.files)} files; "
+         f"detector alone {race_wall * 1e3:.1f}ms, full suite "
+         f"{suite_wall * 1e3:.1f}ms")

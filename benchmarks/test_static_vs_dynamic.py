@@ -103,6 +103,91 @@ def test_dynamic_checker_agrees(benchmark, compiled_cases):
          "(needs a driver input; static needed none)", "\n".join(rows))
 
 
+#: Race templates cross-validated separately: the static lockset
+#: detector's reports must be *dynamically manifestable* — some
+#: interleaving of the same program, driven by the schedule seed, makes
+#: the vector-clock race monitor fire on the same shared data.  A
+#: statically-reported race no schedule can manifest would go in
+#: ``RACE_WHITELIST`` with a justification; today it is empty.
+RACE_CASES = ["race_unsync_counter", "race_arc_interior_mut",
+              "race_lock_wrong_mutex"]
+RACE_SEEDS = range(6)
+RACE_WHITELIST: dict = {}
+
+
+@pytest.fixture(scope="module")
+def compiled_race_cases():
+    out = []
+    for name in RACE_CASES:
+        template = BUG_TEMPLATES[name]
+        src = template.render("X") + "\nfn main() { bug_X(); }\n"
+        out.append((name, template, compile_source(src)))
+    return out
+
+
+def test_static_races_are_dynamically_manifestable(benchmark,
+                                                   compiled_race_cases):
+    """Every static data-race report on the deterministic templates is
+    confirmed by the dynamic race monitor under some schedule seed (or
+    is whitelisted as a known over-approximation)."""
+    def run_both():
+        rows = {}
+        for name, _t, compiled in compiled_race_cases:
+            report = run_detectors(compiled.program)
+            static_hits = [f for f in report.findings
+                           if f.detector == "data-race"]
+            seeds_hit = []
+            for seed in RACE_SEEDS:
+                result = run_program(
+                    compiled.program,
+                    schedule=ScheduleConfig(seed=seed, quantum=2,
+                                            max_steps=400_000),
+                    detect_races=True)
+                if result.races:
+                    seeds_hit.append(seed)
+            rows[name] = (len(static_hits), seeds_hit)
+        return rows
+    rows = benchmark(run_both)
+    lines = []
+    for name, _t, _c in compiled_race_cases:
+        static_hits, seeds_hit = rows[name]
+        lines.append(f"{name:24} static: {static_hits}  "
+                     f"dynamic seeds: {seeds_hit or 'none'}")
+        assert static_hits >= 1, f"{name}: static detector missed"
+        if name not in RACE_WHITELIST:
+            assert seeds_hit, \
+                f"{name}: static race never manifested dynamically"
+    emit("lockset detector vs vector-clock monitor on the race "
+         "templates", "\n".join(lines))
+
+
+def test_lock_protected_negative_clean_both_ways(benchmark):
+    """The lock-protected counterpart is clean statically *and*
+    dynamically — the detectors agree on the negative too."""
+    from repro.corpus.benign import BENIGN_TEMPLATES
+    src = BENIGN_TEMPLATES["locked_shared"]("X") \
+        + "\nfn main() { run_guarded_X(); }\n"
+    compiled = compile_source(src)
+    report = run_detectors(compiled.program)
+    assert not report.findings, [f.kind for f in report.findings]
+
+    def run_dynamic():
+        races = []
+        for seed in RACE_SEEDS:
+            result = run_program(
+                compiled.program,
+                schedule=ScheduleConfig(seed=seed, quantum=2,
+                                        max_steps=400_000),
+                detect_races=True)
+            assert result.ok, result.error
+            races.extend(result.races)
+        return races
+    races = benchmark(run_dynamic)
+    emit("lock-protected negative: static findings 0, dynamic races "
+         f"{len(races)} across seeds {list(RACE_SEEDS)}", "")
+    assert not races
+
+
 def test_dynamic_only_bounded_channel(benchmark):
     compiled = compile_source(DYNAMIC_ONLY_SRC)
     static_report = run_detectors(compiled.program)

@@ -31,12 +31,16 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.analysis.callgraph import CallGraph, build_call_graph, direct_locks
-from repro.analysis.lifetime import LOCK_ACQUIRE_OPS, compute_guard_regions
+from repro.analysis.escape import ThreadEscape, compute_thread_escape
+from repro.analysis.lifetime import (
+    LOCK_ACQUIRE_OPS, caller_lock_ids, compute_guard_regions, lock_identity,
+)
 from repro.analysis.points_to import (
     PointsTo, UNKNOWN_TARGET, compute_points_to, return_items,
 )
 from repro.analysis.summaries import (
-    EffectHop, FunctionSummary, LockId, owned_value_args, term_arg_sources,
+    AccessKey, EffectHop, FunctionSummary, LockId, deref_access_sites,
+    opaque_lock, owned_value_args, term_arg_sources, translate_access_loc,
     translate_lock, value_chain,
 )
 from repro.hir.builtins import BuiltinOp, FuncKind
@@ -79,6 +83,7 @@ class SummaryEngine:
         self._summaries: Dict[str, FunctionSummary] = {}
         self._points_to: Dict[str, PointsTo] = {}
         self._call_graph: Optional[CallGraph] = None
+        self._thread_escape: Optional[ThreadEscape] = None
         self._view = _ReturnView(self)
         self._solved = False
         self._served: Set[str] = set()
@@ -186,6 +191,39 @@ class SummaryEngine:
             seen.add((current_key, current_pos))
             chain.append(current_key)
         return chain
+
+    def access_chain(self, key: str, access: Tuple) -> List[str]:
+        """The call chain along which ``key`` reaches the shared access
+        ``access`` (an :data:`AccessKey`) — ``[key]`` when direct."""
+        self._ensure_solved()
+        chain = [key]
+        seen = {(key, access)}
+        current_key, current_access = key, access
+        while True:
+            summary = self._summaries.get(current_key)
+            if summary is None:
+                break
+            entry = summary.shared_accesses.get(current_access)
+            if entry is None or entry[0] is None:
+                break
+            current_key, current_access = entry[0]
+            if (current_key, current_access) in seen:
+                break
+            seen.add((current_key, current_access))
+            chain.append(current_key)
+        return chain
+
+    def thread_escape(self) -> ThreadEscape:
+        """Program-wide thread-escape facts (computed once, lazily)."""
+        self._ensure_solved()
+        if self._thread_escape is None:
+            obs.count("analysis.thread_escape.miss")
+            with obs.span("analysis.thread_escape"):
+                self._thread_escape = compute_thread_escape(
+                    self.program, self.points_to, self.call_graph)
+        else:
+            obs.count("analysis.thread_escape.hit")
+        return self._thread_escape
 
     # -- solve --------------------------------------------------------------
 
@@ -321,8 +359,8 @@ class SummaryEngine:
         escapes: Dict[int, EffectHop] = {}
 
         # Call-site inventory: direct facts + same-thread callee sites.
-        user_sites: List[Tuple[object, str, List[Optional[int]]]] = []
-        for _bb, term in body.iter_terminators():
+        user_sites: List[Tuple[int, object, str, List[Optional[int]]]] = []
+        for bb, term in body.iter_terminators():
             if term.kind is not TerminatorKind.CALL or term.func is None:
                 continue
             func = term.func
@@ -335,11 +373,11 @@ class SummaryEngine:
                 continue       # the spawned closure runs on another thread
             callee = self._callee_of(body, term)
             if callee is not None and callee in program.functions:
-                user_sites.append((term, callee,
+                user_sites.append((bb, term, callee,
                                    term_arg_sources(body, term)))
 
         # Compose callee effects into this summary.
-        for term, callee, sources in user_sites:
+        for _bb, term, callee, sources in user_sites:
             callee_summary = self._summaries.get(callee)
             if callee_summary is None:
                 continue
@@ -406,10 +444,22 @@ class SummaryEngine:
                 # non-dropping callee: ownership dies with this frame.
                 may_drop[position] = (key, position)
 
+        # Guard-region computation is the expensive part of summarising;
+        # both consumers below (held-on-return, shared-access locksets)
+        # share one lazy compute.  ``include_try=True`` so locksets see
+        # try-acquisitions too; held-on-return filters ``is_try`` itself.
+        regions: Optional[List] = None
+
+        def guard_regions() -> List:
+            nonlocal regions
+            if regions is None:
+                regions = compute_guard_regions(
+                    body, pt, include_try=True, summaries=self._summaries)
+            return regions
+
         # Locks still held when the function returns (a returned guard).
-        # Guard-region computation is the expensive part of summarising,
-        # so it only runs when the return type can actually carry a
-        # guard out of the frame AND a lock is acquired in the call tree.
+        # Only runs when the return type can actually carry a guard out
+        # of the frame AND a lock is acquired in the call tree.
         held: Set[LockId] = set()
         ret_ty = body.local_ty(0)
         guard_return = ret_ty.is_guard or any(
@@ -417,15 +467,14 @@ class SummaryEngine:
         might_hold = guard_return and (acquires or any(
             (callee_summary := self._summaries.get(callee)) is not None
             and callee_summary.locks_held_on_return
-            for _term, callee, _sources in user_sites))
+            for _bb, _term, callee, _sources in user_sites))
         if might_hold:
             return_points = {
                 (block.index, len(block.statements))
                 for block in body.blocks
                 if block.terminator is not None
                 and block.terminator.kind is TerminatorKind.RETURN}
-            for region in compute_guard_regions(
-                    body, pt, summaries=self._summaries):
+            for region in guard_regions():
                 if region.is_try or not (region.points & return_points):
                     continue
                 for ident in region.lock_ids:
@@ -433,12 +482,116 @@ class SummaryEngine:
                         held.add((ident[0], ident[1], ident[2],
                                   region.kind))
 
+        shared = self._shared_accesses(body, pt, user_sites, acquires,
+                                       guard_regions)
+
         return FunctionSummary(
             key=key, returns=frozenset(returns),
             const_return=self._const_return(body, in_progress),
             may_drop_args=may_drop, arg_escapes=escapes, locks=locks,
             locks_held_on_return=frozenset(held),
-            acquires_any_lock=acquires, calls_unknown=calls_unknown)
+            acquires_any_lock=acquires, calls_unknown=calls_unknown,
+            shared_accesses=shared)
+
+    #: Translated access/lock projections longer than this are dropped —
+    #: the bound that keeps recursive frames (whose translation prepends
+    #: the caller's projection each hop) from growing summaries forever.
+    _MAX_PROJ = 4
+
+    def _shared_accesses(self, body: Body, pt: PointsTo, user_sites,
+                         acquires: bool, guard_regions) -> Dict:
+        """The "accesses-shared-under-locks" summary component: every
+        deref access the call tree performs, keyed ``(location, is_write,
+        lockset)``, with locations caller-translatable (``arg``) or global
+        (``heap`` / ``static``) and locksets taken from the guard regions
+        covering the access point.  Composed callee entries gain the locks
+        this frame holds at the call site — protection routed through a
+        helper function stays visible to the race detector."""
+        might_lock = acquires or any(
+            (cs := self._summaries.get(callee)) is not None
+            and cs.acquires_any_lock
+            for _bb, _term, callee, _sources in user_sites)
+
+        def locks_at(point) -> FrozenSet:
+            if not might_lock:
+                return frozenset()
+            out = set()
+            for region in guard_regions():
+                if region.covers(point):
+                    for ident in region.lock_ids:
+                        if ident[0] in ("arg", "static", "heap"):
+                            out.add(ident + (region.kind,))
+            return frozenset(out)
+
+        shared: Dict[AccessKey, Tuple] = {}
+        for point, base, proj, is_write, span in deref_access_sites(body):
+            locs = set()
+            if 0 < base <= body.arg_count:
+                locs.add(("arg", base - 1, proj))
+            base_name = body.locals[base].name or ""
+            if base_name.startswith("static:"):
+                locs.add(("static", base_name[7:], proj))
+            for target in pt.targets(base):
+                if target[0] == "heap":
+                    locs.add(("heap", target[1], proj))
+                elif target[0] == "static":
+                    locs.add(("static", target[1], proj))
+                elif target[0] == "argval":
+                    locs.add(("arg", target[1], proj))
+            if not locs:
+                continue
+            lockset = locks_at(point)
+            for loc in sorted(locs):
+                shared.setdefault((loc, is_write, lockset), (None, span))
+
+        for bb, term, callee, sources in user_sites:
+            callee_summary = self._summaries.get(callee)
+            if callee_summary is None or not callee_summary.shared_accesses:
+                continue
+            call_point = (bb, len(body.blocks[bb].statements))
+            here = locks_at(call_point)
+            for access in callee_summary.shared_accesses:
+                loc, is_write, lockset = access
+                locs = set()
+                translated = translate_access_loc(loc, sources)
+                if translated is not None:
+                    locs.add(translated)
+                if loc[0] == "arg" and loc[1] < len(term.args) \
+                        and term.args[loc[1]].place is not None:
+                    # Points-to route: the operand may name a heap site or
+                    # static the argument-position route cannot see.
+                    arg_local = term.args[loc[1]].place.local
+                    for ident in lock_identity(body, pt, arg_local):
+                        if ident[0] in ("arg", "static", "heap"):
+                            locs.add((ident[0], ident[1],
+                                      tuple(ident[2]) + tuple(loc[2])))
+                locs = {l for l in locs if len(l[2]) <= self._MAX_PROJ}
+                if not locs:
+                    continue
+                tlocks = set(here)
+                for lk in lockset:
+                    if lk[0] in ("heap", "static", "opaque"):
+                        tlocks.add(lk)
+                        continue
+                    kept = set()
+                    if lk[0] == "arg":
+                        kept = {
+                            ident + (lk[3],)
+                            for ident in caller_lock_ids(body, pt, term, lk)
+                            if ident[0] in ("arg", "static", "heap")
+                            and len(ident[2]) <= self._MAX_PROJ}
+                    if kept:
+                        tlocks |= kept
+                    else:
+                        # Keep the access marked lock-protected even when
+                        # the lock has no caller name (documented FP/FN
+                        # trade: an opaque lock never matches another).
+                        tlocks.add(opaque_lock(callee, lk))
+                key_locks = frozenset(tlocks)
+                for loc_t in sorted(locs):
+                    shared.setdefault((loc_t, is_write, key_locks),
+                                      ((callee, access), term.span))
+        return shared
 
     def _const_return(self, body: Body,
                       in_progress: FrozenSet[str]) -> Optional[int]:

@@ -35,8 +35,13 @@ UNKNOWN_TARGET: Target = ("unknown",)
 NULL_TARGET: Target = ("null",)
 
 # Builtin calls whose result aliases the receiver's pointees.
+# Arc::clone / Rc::clone produce a second handle to the *same* allocation,
+# so the clone must inherit the receiver's pointees — that aliasing is what
+# lets the thread-escape analysis connect a closure capture back to the
+# allocation the spawner still holds.
 _POINTER_TRANSFER_OPS = {
     BuiltinOp.PTR_OFFSET, BuiltinOp.PTR_ADD, BuiltinOp.CLONE,
+    BuiltinOp.ARC_CLONE, BuiltinOp.RC_CLONE,
 }
 
 # Builtin calls that return a pointer *into* the receiver object.
@@ -212,7 +217,12 @@ def compute_points_to(body: Body,
             for target in list(ensure(src)):
                 if target[0] == "local":
                     ensure(dst).update(ensure(target[1]))
-                elif target[0] in ("heap", "static", "unknown", "null"):
+                elif target[0] in ("heap", "static", "unknown", "null",
+                                   "argval"):
+                    # ``argval`` passes through so a pointer-transfer call
+                    # on a reference argument (``Arc::clone(a)`` with
+                    # ``a: &Arc<T>``) still summarises as "aliases caller
+                    # argument i".
                     ensure(dst).add(target)
             if len(pt[dst]) != before:
                 changed = True

@@ -32,6 +32,17 @@ Fields and their join direction:
 * ``calls_unknown`` — does the call tree reach FFI or an unresolved
   function?  The soundness fallback bit: facts about such functions are
   lower-bounds only.
+* ``shared_accesses`` — the "accesses-shared-under-locks" component: every
+  read/write the call tree performs through a pointer to potentially
+  thread-shared data, keyed by :data:`AccessKey` ``(location, is_write,
+  lockset)``.  The location is caller-translatable (``("arg", pos, proj)``)
+  or globally identifiable (``("heap", site, proj)`` / ``("static", name,
+  proj)``); the lockset is the set of lock ids (the 4-tuple format, heap
+  ids included) held at the access — composed callee accesses gain the
+  locks the caller holds at the call site, which is how protection through
+  helper functions is seen.  The value is ``(hop, span)``: the
+  ``(callee, callee access key)`` hop the entry came through (``None``
+  when direct) and the span of the access / call site.
 
 Lock ids are the caller-translatable 4-tuples of
 :func:`repro.analysis.callgraph.direct_locks`:
@@ -54,6 +65,11 @@ LockId = Tuple
 #: One hop of a cross-function effect chain: (function key, arg position).
 EffectHop = Tuple[str, int]
 
+#: Shared-access summary key: ``(location, is_write, lockset)`` where
+#: location is ``("arg", pos, proj)`` / ``("heap", site, proj)`` /
+#: ``("static", name, proj)`` and lockset is a frozenset of lock ids.
+AccessKey = Tuple
+
 
 @dataclass
 class FunctionSummary:
@@ -69,6 +85,8 @@ class FunctionSummary:
     locks_held_on_return: FrozenSet[LockId] = frozenset()
     acquires_any_lock: bool = False
     calls_unknown: bool = False
+    #: AccessKey → (hop or None, span) — see the module docstring.
+    shared_accesses: Dict[AccessKey, Tuple] = field(default_factory=dict)
 
     def drops_arg(self, position: int) -> bool:
         return position in self.may_drop_args
@@ -154,3 +172,74 @@ def translate_lock(lock: LockId,
         if index < len(sources) and sources[index] is not None:
             return ("arg", sources[index], lock[2], lock[3])
     return None
+
+
+# ---------------------------------------------------------------------------
+# Shared-access collection (feeds the data-race summary component)
+# ---------------------------------------------------------------------------
+
+def _fields_of(projection) -> Tuple:
+    return tuple((p.field_name or str(p.field_index))
+                 for p in projection if p.kind == "field")
+
+
+def deref_access_sites(body: Body) -> List[Tuple]:
+    """Every read/write that goes *through* a pointer or reference in
+    ``body``: ``(point, base_local, projection, is_write, span)``.
+
+    The base local is resolved through reference/cast chains, so a write
+    ``*p = v`` with ``p = &x.f as *mut _`` reports base ``x`` with
+    projection ``("f",)``.  Taking an address (``&place``) is not an
+    access; atomics go through their own builtin calls and are excluded —
+    they synchronise by construction."""
+    sites: List[Tuple] = []
+    for bb, i, stmt in body.iter_statements():
+        if stmt.kind is not StatementKind.ASSIGN:
+            continue
+        point = (bb, i)
+        if stmt.place.has_deref:
+            base, proj = resolve_ref_chain(body, stmt.place.local)
+            combined = _fields_of(proj) + _fields_of(stmt.place.projection)
+            sites.append((point, base, combined, True, stmt.span))
+        rv = stmt.rvalue
+        if rv is None or rv.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF):
+            continue
+        for op in rv.operands:
+            if op.place is not None and op.place.has_deref:
+                base, proj = resolve_ref_chain(body, op.place.local)
+                combined = _fields_of(proj) + _fields_of(op.place.projection)
+                sites.append((point, base, combined, False, stmt.span))
+    for bb, term in body.iter_terminators():
+        if term.kind is not TerminatorKind.CALL or term.func is None:
+            continue
+        op = term.func.builtin_op
+        if op not in (BuiltinOp.PTR_READ, BuiltinOp.PTR_WRITE):
+            continue
+        if not term.args or term.args[0].place is None:
+            continue
+        point = (bb, len(body.blocks[bb].statements))
+        base, proj = resolve_ref_chain(body, term.args[0].place.local)
+        sites.append((point, base, _fields_of(proj),
+                      op is BuiltinOp.PTR_WRITE, term.span))
+    return sites
+
+
+def translate_access_loc(loc: Tuple,
+                         sources: List[Optional[int]]) -> Optional[Tuple]:
+    """Translate a callee access location into the caller's frame by the
+    argument-position route (heap sites and statics are global ids and
+    pass through unchanged)."""
+    if loc[0] in ("heap", "static"):
+        return loc
+    if loc[0] == "arg":
+        index = loc[1]
+        if index < len(sources) and sources[index] is not None:
+            return ("arg", sources[index], loc[2])
+    return None
+
+
+def opaque_lock(callee: str, lock: Tuple) -> Tuple:
+    """A lockset entry for a callee lock the caller cannot name.  It never
+    matches another lock id, but its presence keeps the access marked as
+    lock-protected rather than silently dropping the protection."""
+    return ("opaque", callee) + tuple(lock)

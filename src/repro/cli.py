@@ -280,7 +280,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p = sub.add_parser("check", help="run static bug detectors")
     p.add_argument("file", nargs="?", default=None)
-    p.add_argument("--detector", action="append", default=[])
+    p.add_argument("--detector", "--detectors", action="append",
+                   default=[], dest="detector")
     p.add_argument("--list-detectors", action="store_true",
                    help="list every detector name and exit")
     p.add_argument("--advice", action="store_true",
@@ -299,7 +300,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("explain", help="findings with their provenance "
                                        "trails")
     p.add_argument("file")
-    p.add_argument("--detector", action="append", default=[])
+    p.add_argument("--detector", "--detectors", action="append",
+                   default=[], dest="detector")
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("run", help="interpret a program (Miri-like)")

@@ -111,6 +111,33 @@ fn spawn_workers_{u}() -> i32 {{
 """
 
 
+def _locked_shared(u: str) -> str:
+    # The no-race mirror of the race templates: the same raw-pointer
+    # write pattern, but both threads take the *same* mutex around it, so
+    # the lockset detector must stay silent.
+    return f"""
+struct Guarded{u} {{ m: Mutex<i32>, data: i32 }}
+unsafe impl Sync for Guarded{u} {{}}
+fn bump_guarded_{u}(s: &Guarded{u}, i: i32) {{
+    let p = &s.data as *const i32 as *mut i32;
+    unsafe {{ *p = *p + i; }}
+}}
+fn run_guarded_{u}() {{
+    let s = Arc::new(Guarded{u} {{ m: Mutex::new(0), data: 0 }});
+    let s2 = Arc::clone(&s);
+    let h = thread::spawn(move || {{
+        let g = s2.m.lock().unwrap();
+        bump_guarded_{u}(&s2, 1);
+        drop(g);
+    }});
+    let g = s.m.lock().unwrap();
+    bump_guarded_{u}(&s, 2);
+    drop(g);
+    h.join();
+}}
+"""
+
+
 def _channel_pipeline(u: str) -> str:
     return f"""
 fn pipeline_{u}() -> i32 {{
@@ -216,6 +243,7 @@ BENIGN_TEMPLATES: Dict[str, Callable[[str], str]] = {
     "good_interior_unsafe": _good_interior_unsafe,
     "checked_ffi": _checked_ffi,
     "worker_threads": _worker_threads,
+    "locked_shared": _locked_shared,
     "channel_pipeline": _channel_pipeline,
     "vec_pipeline": _vec_pipeline,
     "state_machine": _state_machine,

@@ -40,6 +40,8 @@ APP_PROFILES: Dict[str, AppProfile] = {
         "double_free_ptr_read": 1,
         "overflow_unchecked": 2, "double_lock_if": 1,
         "channel_no_sender": 1, "sync_unsync_write": 1, "null_deref": 1,
+        "race_unsync_counter": 1, "race_arc_interior_mut": 1,
+        "race_lock_wrong_mutex": 1,
     }),
     "tock_like": AppProfile("tock_like", benign_modules=5, bug_mix={
         "overflow_unchecked": 1, "uninit_read": 1,

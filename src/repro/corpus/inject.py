@@ -24,6 +24,9 @@ uninit_read            §5.1 uninitialised reads               uninit-read
 overflow_unchecked     §5.1 17/21 buffer overflows            buffer-overflow
 atomic_check_act       Figure 9 (Ethereum)                    atomicity-violation
 sync_unsync_write      Figure 4 / Suggestion 8                sync-unsync-write
+race_unsync_counter    §5.3 shared-memory races               data-race
+race_arc_interior_mut  §5.3 Arc + interior mutability         data-race
+race_lock_wrong_mutex  §6.1 wrong-lock protection             data-race
 =====================  =====================================  ============
 """
 
@@ -299,6 +302,75 @@ fn bug_{u}() {{
 """
 
 
+def _race_unsync_counter(u: str) -> str:
+    # The §5.3 staple: a struct force-marked Sync shared through Arc,
+    # written from two threads through a helper with no lock anywhere.
+    return f"""
+struct Counter{u} {{ value: i32 }}
+unsafe impl Sync for Counter{u} {{}}
+fn touch_{u}(c: &Counter{u}, i: i32) {{
+    let p = &c.value as *const i32 as *mut i32;
+    unsafe {{ *p = *p + i; }}
+}}
+fn bug_{u}() {{
+    let c = Arc::new(Counter{u} {{ value: 0 }});
+    let c2 = Arc::clone(&c);
+    let h = thread::spawn(move || {{
+        touch_{u}(&c2, 1);
+    }});
+    touch_{u}(&c, 2);
+    h.join();
+}}
+"""
+
+
+def _race_arc_interior_mut(u: str) -> str:
+    # Arc + UnsafeCell: both threads get a raw pointer into the same
+    # allocation through UnsafeCell::get and write unsynchronised.
+    return f"""
+struct Shared{u} {{ cell: UnsafeCell<i32> }}
+unsafe impl Sync for Shared{u} {{}}
+fn bug_{u}() {{
+    let s = Arc::new(Shared{u} {{ cell: UnsafeCell::new(0) }});
+    let s2 = Arc::clone(&s);
+    let h = thread::spawn(move || {{
+        let p = s2.cell.get();
+        unsafe {{ *p = *p + 1; }}
+    }});
+    let p = s.cell.get();
+    unsafe {{ *p = *p + 2; }}
+    h.join();
+}}
+"""
+
+
+def _race_lock_wrong_mutex(u: str) -> str:
+    # Both sides lock — but different mutexes, so the locksets at the
+    # two writes are disjoint and the data field is unprotected.
+    return f"""
+struct State{u} {{ ma: Mutex<i32>, mb: Mutex<i32>, data: i32 }}
+unsafe impl Sync for State{u} {{}}
+fn bump_{u}(s: &State{u}, i: i32) {{
+    let p = &s.data as *const i32 as *mut i32;
+    unsafe {{ *p = *p + i; }}
+}}
+fn bug_{u}() {{
+    let s = Arc::new(State{u} {{
+        ma: Mutex::new(0), mb: Mutex::new(0), data: 0 }});
+    let s2 = Arc::clone(&s);
+    let h = thread::spawn(move || {{
+        let g = s2.ma.lock().unwrap();
+        bump_{u}(&s2, 1);
+        drop(g);
+    }});
+    let g = s.mb.lock().unwrap();
+    bump_{u}(&s, 2);
+    drop(g);
+    h.join();
+}}
+"""
+
+
 def _recv_holding_lock(u: str) -> str:
     return f"""
 static STATE_{u}: Mutex<i32> = Mutex::new(0);
@@ -353,6 +425,18 @@ BUG_TEMPLATES: Dict[str, BugTemplate] = {
     "sync_unsync_write": BugTemplate("sync_unsync_write",
                                      BugKind.NON_BLOCKING,
                                      "sync-unsync-write", _sync_unsync_write),
+    "race_unsync_counter": BugTemplate("race_unsync_counter",
+                                       BugKind.NON_BLOCKING, "data-race",
+                                       _race_unsync_counter,
+                                       dynamic_entry=True),
+    "race_arc_interior_mut": BugTemplate("race_arc_interior_mut",
+                                         BugKind.NON_BLOCKING, "data-race",
+                                         _race_arc_interior_mut,
+                                         dynamic_entry=True),
+    "race_lock_wrong_mutex": BugTemplate("race_lock_wrong_mutex",
+                                         BugKind.NON_BLOCKING, "data-race",
+                                         _race_lock_wrong_mutex,
+                                         dynamic_entry=True),
 }
 
 MEMORY_TEMPLATES = [t for t in BUG_TEMPLATES.values()

@@ -76,6 +76,13 @@ class AnalysisContext:
     def drop_chain(self, key: str, position: int) -> List[str]:
         return self.engine.drop_chain(key, position)
 
+    def access_chain(self, key: str, access) -> List[str]:
+        return self.engine.access_chain(key, access)
+
+    def thread_escape(self):
+        """Program-wide thread-escape facts (engine-owned, lazy)."""
+        return self.engine.thread_escape()
+
     def guard_regions(self, body: Body,
                       include_try: bool = False) -> List[GuardRegion]:
         return self._lookup(

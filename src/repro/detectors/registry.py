@@ -9,6 +9,7 @@ from repro.detectors.buffer_overflow import BufferOverflowDetector
 from repro.detectors.concurrency_misc import (
     ChannelDetector, CondvarDetector, OnceRecursionDetector,
 )
+from repro.detectors.data_race import DataRaceDetector
 from repro.detectors.double_lock import DoubleLockDetector
 from repro.detectors.interior_mutability import (
     AtomicityViolationDetector, SyncUnsyncWriteDetector,
@@ -40,6 +41,7 @@ ALL_DETECTORS: List[Type[Detector]] = [
     OnceRecursionDetector,
     SyncUnsyncWriteDetector,
     AtomicityViolationDetector,
+    DataRaceDetector,
 ]
 
 MEMORY_DETECTORS = [UseAfterFreeDetector, DanglingReturnDetector,
@@ -49,12 +51,15 @@ MEMORY_DETECTORS = [UseAfterFreeDetector, DanglingReturnDetector,
 CONCURRENCY_DETECTORS = [DoubleLockDetector, LockOrderDetector,
                          CondvarDetector, ChannelDetector,
                          OnceRecursionDetector, SyncUnsyncWriteDetector,
-                         AtomicityViolationDetector]
+                         AtomicityViolationDetector, DataRaceDetector]
 
 
 def detector_by_name(name: str) -> Optional[Type[Detector]]:
+    # Accept underscores for hyphens so `--detector data_race` works the
+    # same as `--detector data-race`.
+    normalised = name.replace("_", "-")
     for cls in ALL_DETECTORS:
-        if cls.name == name:
+        if cls.name == normalised:
             return cls
     return None
 

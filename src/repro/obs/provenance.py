@@ -52,13 +52,22 @@ def fact(kind: str, note: str = "", /, **detail: Any) -> Dict[str, Any]:
 
 def render_facts(facts: Iterable[Dict[str, Any]],
                  indent: str = "  ") -> List[str]:
-    """Render a provenance trail as numbered, indented lines."""
+    """Render a provenance trail as numbered, indented lines.
+
+    Every fact renders *something*, whatever its shape: dict facts with
+    an unrecognised ``kind`` (or none at all) fall back to the generic
+    ``[kind] note (detail)`` form, and non-dict facts — which a detector
+    predating the ``fact()`` helper may emit — render via ``repr``.  New
+    detectors must never produce an empty or crashing explanation."""
     lines: List[str] = []
     for i, f in enumerate(facts, start=1):
+        if not isinstance(f, dict):
+            lines.append(f"{indent}{i}. [fact] {f!r}")
+            continue
         note = f.get("note", "")
         detail = ", ".join(f"{k}={v!r}" for k, v in sorted(f.items())
                            if k not in ("kind", "note"))
-        line = f"{indent}{i}. [{f.get('kind', '?')}]"
+        line = f"{indent}{i}. [{f.get('kind', 'fact')}]"
         if note:
             line += f" {note}"
         if detail:

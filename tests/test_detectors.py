@@ -581,3 +581,155 @@ class TestDanglingReturn:
     def test_non_pointer_return_ignored(self):
         report = check("fn f() -> i32 { let x = 5; x }")
         assert not detectors_named(report, "dangling-return")
+
+
+class TestDataRace:
+    def _race_findings(self, template_name):
+        from repro.corpus.inject import BUG_TEMPLATES
+        report = check(BUG_TEMPLATES[template_name].render("X"))
+        return detectors_named(report, "data-race")
+
+    def _assert_provenance(self, finding):
+        kinds = [f["kind"] for f in finding.provenance]
+        assert "lockset" in kinds
+        assert "summary-chain" in kinds
+        assert "thread-escape" in kinds
+
+    def test_race_unsync_counter_template(self):
+        findings = self._race_findings("race_unsync_counter")
+        assert findings, "unsynchronised cross-thread writes must be flagged"
+        self._assert_provenance(findings[0])
+        # The write goes through the helper: summary-chain is real.
+        chain = next(f for f in findings[0].provenance
+                     if f["kind"] == "summary-chain")
+        assert len(chain["chain"]) > 1
+
+    def test_race_arc_interior_mut_template(self):
+        findings = self._race_findings("race_arc_interior_mut")
+        assert findings
+        self._assert_provenance(findings[0])
+
+    def test_race_lock_wrong_mutex_template(self):
+        findings = self._race_findings("race_lock_wrong_mutex")
+        assert findings
+        self._assert_provenance(findings[0])
+        lockset = next(f for f in findings[0].provenance
+                       if f["kind"] == "lockset")
+        assert lockset["first"] and lockset["second"], \
+            "both sides hold locks — just not a common one"
+
+    def test_lock_protected_negative(self):
+        from repro.corpus.benign import BENIGN_TEMPLATES
+        report = check(BENIGN_TEMPLATES["locked_shared"]("X"))
+        assert not report.findings
+
+    def test_protection_through_helper_function(self):
+        # The lock is acquired *inside* the helper; only the summary
+        # engine's transitive lock effects make the write look protected.
+        report = check("""
+            struct G { m: Mutex<i32>, data: i32 }
+            unsafe impl Sync for G {}
+            fn locked_bump(s: &G, i: i32) {
+                let g = s.m.lock().unwrap();
+                let p = &s.data as *const i32 as *mut i32;
+                unsafe { *p = *p + i; }
+                drop(g);
+            }
+            fn main() {
+                let s = Arc::new(G { m: Mutex::new(0), data: 0 });
+                let s2 = Arc::clone(&s);
+                let h = thread::spawn(move || { locked_bump(&s2, 1); });
+                locked_bump(&s, 2);
+                h.join();
+            }""")
+        assert not detectors_named(report, "data-race")
+
+    def test_one_side_unlocked_race(self):
+        report = check("""
+            struct G { m: Mutex<i32>, data: i32 }
+            unsafe impl Sync for G {}
+            fn bump(s: &G, i: i32) {
+                let p = &s.data as *const i32 as *mut i32;
+                unsafe { *p = *p + i; }
+            }
+            fn main() {
+                let s = Arc::new(G { m: Mutex::new(0), data: 0 });
+                let s2 = Arc::clone(&s);
+                let h = thread::spawn(move || {
+                    let g = s2.m.lock().unwrap();
+                    bump(&s2, 1);
+                    drop(g);
+                });
+                bump(&s, 2);
+                h.join();
+            }""")
+        assert detectors_named(report, "data-race")
+
+    def test_guard_deref_writes_invisible(self):
+        # Mutex<i32> used properly: writes through the guard are
+        # structurally protected and produce nothing.
+        report = check("""
+            fn main() {
+                let m = Arc::new(Mutex::new(0));
+                let m2 = Arc::clone(&m);
+                let h = thread::spawn(move || {
+                    let mut g = m2.lock().unwrap();
+                    *g += 1;
+                });
+                let mut g = m.lock().unwrap();
+                *g += 1;
+                drop(g);
+                h.join();
+            }""")
+        assert not detectors_named(report, "data-race")
+
+    def test_access_before_spawn_not_concurrent(self):
+        report = check("""
+            struct C { value: i32 }
+            unsafe impl Sync for C {}
+            fn touch(c: &C, i: i32) {
+                let p = &c.value as *const i32 as *mut i32;
+                unsafe { *p = i; }
+            }
+            fn main() {
+                let c = Arc::new(C { value: 0 });
+                let c2 = Arc::clone(&c);
+                touch(&c, 2);
+                let h = thread::spawn(move || { touch(&c2, 1); });
+                h.join();
+            }""")
+        assert not detectors_named(report, "data-race")
+
+    def test_no_spawn_no_findings(self):
+        report = check("""
+            struct C { value: i32 }
+            unsafe impl Sync for C {}
+            fn touch(c: &C, i: i32) {
+                let p = &c.value as *const i32 as *mut i32;
+                unsafe { *p = i; }
+            }
+            fn main() {
+                let c = Arc::new(C { value: 0 });
+                touch(&c, 1);
+                touch(&c, 2);
+            }""")
+        assert not detectors_named(report, "data-race")
+
+    def test_two_spawned_threads_race(self):
+        report = check("""
+            struct C { value: i32 }
+            unsafe impl Sync for C {}
+            fn touch(c: &C, i: i32) {
+                let p = &c.value as *const i32 as *mut i32;
+                unsafe { *p = i; }
+            }
+            fn main() {
+                let c = Arc::new(C { value: 0 });
+                let a = Arc::clone(&c);
+                let b = Arc::clone(&c);
+                let h1 = thread::spawn(move || { touch(&a, 1); });
+                let h2 = thread::spawn(move || { touch(&b, 2); });
+                h1.join();
+                h2.join();
+            }""")
+        assert detectors_named(report, "data-race")

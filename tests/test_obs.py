@@ -30,6 +30,29 @@ fn main() {
 }
 """
 
+RACE_SRC = """
+use std::sync::Arc;
+use std::thread;
+
+struct Counter { value: i32 }
+unsafe impl Sync for Counter {}
+
+fn touch(c: &Counter, i: i32) {
+    let p = &c.value as *const i32 as *mut i32;
+    unsafe { *p = *p + i; }
+}
+
+fn main() {
+    let c = Arc::new(Counter { value: 0 });
+    let c2 = Arc::clone(&c);
+    let h = thread::spawn(move || {
+        touch(&c2, 1);
+    });
+    touch(&c, 2);
+    h.join();
+}
+"""
+
 
 class TestSpans:
     def test_nesting(self):
@@ -234,6 +257,36 @@ class TestProvenance:
         assert f["kind"] == "tag"        # the tag wins
         assert f["note"] == "a note"
         assert f["extra"] == [["a", 1]]
+
+    def test_render_facts_never_drops_unrecognised_shapes(self):
+        """Every fact renders something: unknown kinds keep their tag,
+        a kind-less dict falls back to the generic label, and non-dict
+        facts (pre-``fact()`` detectors) render via repr instead of
+        crashing ``minirust explain``."""
+        from repro.obs.provenance import render_facts
+        lines = render_facts([
+            {"kind": "brand-new-kind", "note": "novel", "x": 1},
+            {"note": "no kind at all"},
+            "a bare string fact",
+            ("a", "tuple"),
+        ])
+        assert len(lines) == 4
+        assert "[brand-new-kind] novel" in lines[0]
+        assert "x=1" in lines[0]
+        assert "[fact] no kind at all" in lines[1]
+        assert "'a bare string fact'" in lines[2]
+        assert "tuple" in lines[3]
+
+    def test_data_race_explain_renders_all_facts(self):
+        """The race detector's four provenance kinds all survive the
+        explain rendering — none silently dropped."""
+        report = check(RACE_SRC)
+        races = detectors_named(report, "data-race")
+        assert races
+        text = report.explain()
+        for kind in ("thread-escape", "shared-location", "lockset",
+                     "summary-chain"):
+            assert f"[{kind}]" in text, f"{kind} missing from explain"
 
 
 class TestExporters:

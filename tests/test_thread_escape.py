@@ -1,0 +1,177 @@
+"""Thread-escape analysis edge cases (repro.analysis.escape).
+
+The lockset race detector is only as good as its notion of "crosses a
+thread boundary"; these tests pin the three doors the paper's bug
+corpus actually uses — spawn-closure captures (by move *and* by
+borrow), ``Arc::clone`` chains routed through helper functions, and
+channel sends — plus the negative: a closure that is merely *called*
+never escapes anything.
+"""
+
+from conftest import compile_
+
+from repro.analysis.engine import SummaryEngine
+
+
+def escape_of(src: str):
+    compiled = compile_source_cached(src)
+    engine = SummaryEngine(compiled.program)
+    return engine, engine.thread_escape()
+
+
+_cache = {}
+
+
+def compile_source_cached(src: str):
+    if src not in _cache:
+        _cache[src] = compile_(src)
+    return _cache[src]
+
+
+class TestClosureCaptures:
+    """Move vs borrow captures both escape; local calls never do."""
+
+    MOVE_SRC = """
+use std::sync::Arc;
+use std::thread;
+
+fn main() {
+    let data = Arc::new(7);
+    let h = thread::spawn(move || {
+        let v = *data;
+    });
+    h.join();
+}
+"""
+
+    BORROW_SRC = """
+use std::sync::Arc;
+use std::thread;
+
+fn main() {
+    let data = Arc::new(7);
+    let h = thread::spawn(|| {
+        let v = *data;
+    });
+    h.join();
+}
+"""
+
+    def test_move_capture_escapes(self):
+        engine, te = escape_of(self.MOVE_SRC)
+        assert len(te.spawn_sites) == 1
+        site = te.spawn_sites[0]
+        assert site.spawner == "main"
+        assert site.closure in te.thread_reachable
+        assert site.captures, "capture map should not be empty"
+        captured = next(iter(site.captures.values()))
+        assert te.escapes("main", captured)
+        assert te.escape_reasons[("main", captured)] == "spawn-capture"
+
+    def test_borrow_capture_escapes(self):
+        """Borrow captures lower as ``copy`` of the full local — the
+        escape analysis must treat them exactly like move captures."""
+        engine, te = escape_of(self.BORROW_SRC)
+        assert len(te.spawn_sites) == 1
+        site = te.spawn_sites[0]
+        assert site.captures
+        captured = next(iter(site.captures.values()))
+        assert te.escapes("main", captured)
+        assert te.escape_reasons[("main", captured)] == "spawn-capture"
+
+    def test_move_and_borrow_share_the_allocation_target(self):
+        """Both capture styles resolve to the same kind of global id:
+        the Arc allocation's heap site."""
+        for src in (self.MOVE_SRC, self.BORROW_SRC):
+            engine, te = escape_of(src)
+            heap = {t for t in te.shared_targets if t[0] == "heap"}
+            assert heap, f"no heap target for {src[:40]!r}"
+
+    def test_locally_called_closure_does_not_escape(self):
+        src = """
+fn main() {
+    let data = 7;
+    let f = || {
+        let v = data;
+    };
+    f();
+}
+"""
+        engine, te = escape_of(src)
+        assert te.spawn_sites == []
+        assert te.thread_reachable == set()
+        assert not te.escape_roots.get("main")
+        assert te.shared_targets == set()
+
+
+class TestArcThroughHelper:
+    """An Arc handle cloned inside a helper still traces back to the
+    original allocation site — by value and by reference."""
+
+    def _src(self, sig: str, call: str) -> str:
+        return f"""
+use std::sync::{{Arc, Mutex}};
+use std::thread;
+
+fn dup({sig}) -> Arc<Mutex<i32>> {{
+    Arc::clone(&a)
+}}
+
+fn main() {{
+    let c = Arc::new(Mutex::new(0));
+    let c2 = dup({call});
+    let h = thread::spawn(move || {{
+        let g = c2.lock().unwrap();
+    }});
+    h.join();
+}}
+"""
+
+    def test_clone_through_helper_by_value(self):
+        engine, te = escape_of(self._src("a: Arc<Mutex<i32>>", "c"))
+        heap = {t for t in te.shared_targets if t[0] == "heap"}
+        assert heap, "Arc allocation should be a shared target"
+        assert any(te.is_shared(t) for t in heap)
+        # The helper's return summary says "aliases argument 0".
+        assert 0 in engine.summary("dup").returns
+
+    def test_clone_through_helper_by_ref(self):
+        engine, te = escape_of(self._src("a: &Arc<Mutex<i32>>", "&c"))
+        heap = {t for t in te.shared_targets if t[0] == "heap"}
+        assert heap, "clone of a borrowed handle still aliases the " \
+            "allocation (argval pass-through in the points-to loads)"
+        assert 0 in engine.summary("dup").returns
+
+
+class TestChannelSend:
+    """A value sent over a channel escapes with reason channel-send."""
+
+    SRC = """
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+fn main() {
+    let (tx, rx) = mpsc::channel();
+    let payload = Arc::new(5);
+    tx.send(payload);
+    let h = thread::spawn(move || {
+        let got = rx.recv().unwrap();
+    });
+    h.join();
+}
+"""
+
+    def test_sent_value_escapes(self):
+        engine, te = escape_of(self.SRC)
+        sent = [(key, local) for (key, local), reason
+                in te.escape_reasons.items() if reason == "channel-send"]
+        assert sent, "the sent payload should be an escape root"
+        key, local = sent[0]
+        assert key == "main"
+        assert te.escapes(key, local)
+
+    def test_sent_allocation_is_shared(self):
+        engine, te = escape_of(self.SRC)
+        heap = {t for t in te.shared_targets if t[0] == "heap"}
+        assert heap, "the Arc behind the sent value is shared data"
