@@ -12,6 +12,7 @@ import pytest
 
 from conftest import emit
 
+from repro.analysis.config import AnalysisConfig
 from repro.corpus import evaluate_detectors, generate_corpus
 from repro.detectors.base import AnalysisContext
 from repro.detectors.double_lock import DoubleLockDetector
@@ -81,7 +82,8 @@ def test_uaf_with_return_summaries(benchmark):
 def test_uaf_without_return_summaries(benchmark):
     def run():
         compiled = compile_source(FIG7)
-        ctx = AnalysisContext(compiled.program, interprocedural=False)
+        ctx = AnalysisContext(compiled.program,
+                              AnalysisConfig(interprocedural=False))
         return UseAfterFreeDetector().run(ctx)
     findings = benchmark(run)
     emit("use-after-free without return summaries",

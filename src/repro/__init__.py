@@ -20,11 +20,11 @@ This package implements, from scratch in Python:
 * a **synthetic corpus generator** standing in for the five studied
   applications, with controlled bug injection for detector evaluation.
 
-Quickstart::
+Quickstart (the stable facade — one import, three lines)::
 
-    from repro import compile_source, run_all_detectors
+    from repro import api
 
-    program = compile_source('''
+    report = api.analyze('''
         fn main() {
             let v: Vec<i32> = Vec::new();
             let p: *const i32 = v.as_ptr();
@@ -32,9 +32,10 @@ Quickstart::
             unsafe { print(*p); }
         }
     ''')
-    report = run_all_detectors(program)
-    for finding in report.findings:
-        print(finding.render())
+    print(report.render())
+
+The legacy ``compile_source`` / ``run_all_detectors`` pair still works;
+see DESIGN.md ("Migrating to repro.api") for the mapping.
 """
 
 from repro import obs
@@ -47,10 +48,11 @@ from repro.driver import (
 )
 from repro.detectors.report import Finding, Report
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompiledProgram",
+    "api",
     "compile_file",
     "compile_source",
     "run_all_detectors",
@@ -60,3 +62,12 @@ __all__ = [
     "obs",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    # ``repro.api`` imports lazily so the base package keeps importing
+    # fast (and without cycles) for front-end-only consumers.
+    if name == "api":
+        import repro.api as api
+        return api
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -149,6 +149,109 @@ def build_call_graph(program: Program) -> CallGraph:
     return graph
 
 
+def scc_order(program: Program, graph: CallGraph) -> List[List[str]]:
+    """Tarjan's SCC algorithm (iterative); emits components in reverse
+    topological order — callees before callers.  This is the solve order
+    of the :class:`~repro.analysis.engine.SummaryEngine` and the input of
+    :func:`wave_partition`."""
+    functions = program.functions
+    keys = list(functions.keys())
+    edges = {key: sorted(c for c in graph.edges.get(key, ())
+                         if c in functions) for key in keys}
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = 0
+    for root in keys:
+        if root in index:
+            continue
+        work = [(root, iter(edges[root]))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(edges[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    popped = stack.pop()
+                    on_stack.discard(popped)
+                    component.append(popped)
+                    if popped == node:
+                        break
+                components.append(component)
+    return components
+
+
+def component_callees(component: List[str], graph: CallGraph,
+                      program: Program) -> Set[str]:
+    """Functions outside ``component`` that its members call (same
+    thread) — the summaries a solve of the component depends on."""
+    members = set(component)
+    out: Set[str] = set()
+    for key in component:
+        for callee in graph.edges.get(key, ()):
+            if callee not in members and callee in program.functions:
+                out.add(callee)
+    return out
+
+
+def wave_partition(components: List[List[str]], graph: CallGraph,
+                   program: Program) -> List[List[int]]:
+    """Group SCC indices into *waves* of mutually independent components.
+
+    Wave ``k`` holds every component whose callees all live in waves
+    ``< k`` (leaves are wave 0), i.e. the longest-path depth of the
+    condensed call graph.  Components inside one wave share no edges, so
+    they can be solved in parallel; solving waves in order preserves the
+    bottom-up invariant that every external callee is already converged.
+    Within a wave, the original (reverse-topological) component order is
+    kept, which is what makes the executor's merge deterministic at any
+    worker count.
+    """
+    comp_of: Dict[str, int] = {}
+    for i, component in enumerate(components):
+        for key in component:
+            comp_of[key] = i
+    depth: List[int] = [0] * len(components)
+    # components are emitted callees-first, so one forward pass suffices.
+    for i, component in enumerate(components):
+        d = 0
+        for key in component:
+            for callee in graph.edges.get(key, ()):
+                j = comp_of.get(callee)
+                if j is not None and j != i:
+                    d = max(d, depth[j] + 1)
+        depth[i] = d
+    waves: List[List[int]] = []
+    for i in range(len(components)):
+        while len(waves) <= depth[i]:
+            waves.append([])
+        waves[depth[i]].append(i)
+    return waves
+
+
 def direct_locks(body: Body) -> Set[LockId]:
     """Abstract locks directly acquired in ``body`` (caller-translatable
     ids only: args and statics).  Each entry is

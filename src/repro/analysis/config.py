@@ -1,0 +1,116 @@
+"""One frozen, validated configuration object for the whole pipeline.
+
+Before this module existed every layer threaded its own keyword
+arguments: ``interprocedural=`` through :class:`AnalysisContext` and
+:class:`SummaryEngine`, detector lists through ``run_detectors``, and the
+executor would have added ``jobs=`` / ``cache_dir=`` on top.
+:class:`AnalysisConfig` replaces all of them — it is constructed (and
+validated) in exactly one place and handed down unchanged, so a bad
+value fails fast at the API boundary instead of deep inside a solve.
+
+The legacy keyword arguments keep working for one release: call sites
+that still pass ``interprocedural=`` get the behaviour they asked for
+plus a :class:`DeprecationWarning` pointing at the replacement (see
+:func:`coerce_config`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+#: Default maximum number of on-disk summary-cache entries before the
+#: executor evicts the oldest ones.
+DEFAULT_CACHE_LIMIT = 65536
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Every knob of the analysis pipeline, validated once.
+
+    * ``interprocedural`` — the ablation switch: ``False`` collapses every
+      function summary to the bottom element.
+    * ``detectors`` — detector names to run (``None`` = the full
+      registry); validated against the registry by the API layer.
+    * ``jobs`` — worker-process fan-out for the executor; ``1`` keeps
+      everything in-process.
+    * ``cache_dir`` / ``use_cache`` — the content-addressed on-disk
+      summary cache.  ``cache_dir=None`` disables caching regardless of
+      ``use_cache`` (there is nowhere to put it); ``use_cache=False`` is
+      the ``--no-cache`` escape hatch that keeps the directory argument
+      but skips both lookups and stores.
+    * ``cache_limit`` — entry cap before oldest-first eviction.
+    * ``seed`` — deterministic seed forwarded to corpus generation and
+      interpreter schedules.
+    * ``emit_bounds_checks`` — compile-time switch for the §4.1
+      perf-comparison build.
+    """
+
+    interprocedural: bool = True
+    detectors: Optional[Tuple[str, ...]] = None
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    cache_limit: int = DEFAULT_CACHE_LIMIT
+    seed: int = 0
+    emit_bounds_checks: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.jobs, int) or isinstance(self.jobs, bool) \
+                or self.jobs < 1:
+            raise ValueError(
+                f"jobs must be a positive integer, got {self.jobs!r}")
+        if not isinstance(self.cache_limit, int) or self.cache_limit < 1:
+            raise ValueError(
+                f"cache_limit must be a positive integer, "
+                f"got {self.cache_limit!r}")
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise ValueError(
+                f"cache_dir must be a string path or None, "
+                f"got {type(self.cache_dir).__name__}")
+        if self.detectors is not None:
+            if isinstance(self.detectors, str):
+                raise ValueError(
+                    "detectors must be a sequence of names, not a string")
+            # Freeze whatever sequence the caller handed us.
+            object.__setattr__(self, "detectors", tuple(self.detectors))
+            for name in self.detectors:
+                if not isinstance(name, str) or not name:
+                    raise ValueError(
+                        f"detector names must be non-empty strings, "
+                        f"got {name!r}")
+
+    @property
+    def caching_enabled(self) -> bool:
+        return self.use_cache and self.cache_dir is not None
+
+    def with_(self, **changes) -> "AnalysisConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+
+def coerce_config(config: Optional[AnalysisConfig] = None,
+                  *, interprocedural: Optional[bool] = None,
+                  _owner: str = "this API") -> AnalysisConfig:
+    """Resolve the (new) ``config`` object against (legacy) kwargs.
+
+    ``interprocedural=`` predates :class:`AnalysisConfig`; passing it
+    still works for one release but warns.  A bool in the ``config``
+    position is the old positional ``interprocedural`` argument and gets
+    the same treatment.
+    """
+    if isinstance(config, bool):          # legacy positional call shape
+        interprocedural, config = config, None
+    if config is not None and not isinstance(config, AnalysisConfig):
+        raise TypeError(
+            f"config must be an AnalysisConfig, "
+            f"got {type(config).__name__}")
+    if interprocedural is not None:
+        warnings.warn(
+            f"passing interprocedural= to {_owner} is deprecated; "
+            f"pass config=AnalysisConfig(interprocedural=...) instead",
+            DeprecationWarning, stacklevel=3)
+        return (config or AnalysisConfig()).with_(
+            interprocedural=interprocedural)
+    return config or AnalysisConfig()

@@ -30,7 +30,10 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro import obs
-from repro.analysis.callgraph import CallGraph, build_call_graph, direct_locks
+from repro.analysis.callgraph import (
+    CallGraph, build_call_graph, direct_locks, scc_order,
+)
+from repro.analysis.config import AnalysisConfig, coerce_config
 from repro.analysis.escape import ThreadEscape, compute_thread_escape
 from repro.analysis.lifetime import (
     LOCK_ACQUIRE_OPS, caller_lock_ids, compute_guard_regions, lock_identity,
@@ -77,9 +80,15 @@ class SummaryEngine:
     """Computes and caches :class:`FunctionSummary` facts for a program."""
 
     def __init__(self, program: Program,
-                 interprocedural: bool = True) -> None:
+                 config: Optional[AnalysisConfig] = None, *,
+                 interprocedural: Optional[bool] = None,
+                 pool=None) -> None:
+        self.config = coerce_config(config, interprocedural=interprocedural,
+                                    _owner="SummaryEngine")
         self.program = program
-        self.interprocedural = interprocedural
+        self.interprocedural = self.config.interprocedural
+        #: Optionally session-owned worker pool, shared across programs.
+        self._executor_pool = pool
         self._summaries: Dict[str, FunctionSummary] = {}
         self._points_to: Dict[str, PointsTo] = {}
         self._call_graph: Optional[CallGraph] = None
@@ -240,90 +249,71 @@ class SummaryEngine:
             self._solve()
 
     def _solve(self) -> None:
+        # The executor owns scheduling: SCC waves, optional worker-process
+        # fan-out, and the on-disk summary cache.  At jobs=1 with no cache
+        # it degenerates to the classic serial bottom-up solve.
+        from repro.analysis.executor import AnalysisExecutor
+        AnalysisExecutor(self, self.config,
+                         pool=self._executor_pool).solve()
+
+    def solve_component(self, component: List[str]) -> int:
+        """Run the worklist for one SCC against ``self._summaries``.
+
+        Every callee outside ``component`` must already be converged in
+        ``self._summaries`` (the bottom-up invariant).  Member summaries
+        and their fixpoint points-to facts are written back in place;
+        returns the number of worklist iterations taken.  This is the
+        unit of work the executor fans out: it only touches the member
+        bodies and callee summaries, so a worker process can run it
+        against a skeleton program.
+        """
         program = self.program
-        graph = self.call_graph
-        components = self._scc_order(graph)
-        obs.gauge("analysis.summaries.sccs", len(components))
-        total_iterations = 0
-        for component in components:
-            cyclic = len(component) > 1 or any(
-                key in graph.edges.get(key, ()) for key in component)
-            in_progress = frozenset(component) if cyclic else frozenset()
-            changed = True
-            while changed:
-                total_iterations += 1
-                changed = False
-                for key in component:
-                    body = program.functions[key]
-                    pt = compute_points_to(body, self._view)
-                    obs.count("analysis.summaries.points_to_computes")
-                    # The last compute for a function runs against its
-                    # component's converged summaries — the fixpoint the
-                    # detector-facing cache serves.
-                    self._points_to[key] = pt
-                    new = self._summarize(body, pt, in_progress)
-                    if new != self._summaries.get(key):
-                        self._summaries[key] = new
-                        changed = True
-                if not cyclic:
-                    # Every callee is outside the component and already
-                    # converged: one pass is the fixpoint.
-                    break
-        obs.count("analysis.summaries.iterations", total_iterations)
+        # Cyclicity is decided from the member bodies alone (not the call
+        # graph) so worker processes can solve against a skeleton program
+        # that only carries the component's bodies.
+        cyclic = len(component) > 1 or self._calls_self(
+            program.functions[component[0]])
+        in_progress = frozenset(component) if cyclic else frozenset()
+        iterations = 0
+        changed = True
+        while changed:
+            iterations += 1
+            changed = False
+            for key in component:
+                body = program.functions[key]
+                pt = compute_points_to(body, self._view)
+                obs.count("analysis.summaries.points_to_computes")
+                # The last compute for a function runs against its
+                # component's converged summaries — the fixpoint the
+                # detector-facing cache serves.
+                self._points_to[key] = pt
+                new = self._summarize(body, pt, in_progress)
+                if new != self._summaries.get(key):
+                    self._summaries[key] = new
+                    changed = True
+            if not cyclic:
+                # Every callee is outside the component and already
+                # converged: one pass is the fixpoint.
+                break
+        return iterations
+
+    def adopt_summaries(self, summaries: Dict[str, FunctionSummary]) -> None:
+        """Install externally computed (worker / cache) summaries."""
+        self._summaries.update(summaries)
 
     def _scc_order(self, graph: CallGraph) -> List[List[str]]:
-        """Tarjan's SCC algorithm (iterative); emits components in
-        reverse topological order — callees before callers."""
-        functions = self.program.functions
-        keys = list(functions.keys())
-        edges = {key: sorted(c for c in graph.edges.get(key, ())
-                             if c in functions) for key in keys}
-        index: Dict[str, int] = {}
-        low: Dict[str, int] = {}
-        on_stack: Set[str] = set()
-        stack: List[str] = []
-        components: List[List[str]] = []
-        counter = 0
-        for root in keys:
-            if root in index:
-                continue
-            work = [(root, iter(edges[root]))]
-            index[root] = low[root] = counter
-            counter += 1
-            stack.append(root)
-            on_stack.add(root)
-            while work:
-                node, successors = work[-1]
-                advanced = False
-                for succ in successors:
-                    if succ not in index:
-                        index[succ] = low[succ] = counter
-                        counter += 1
-                        stack.append(succ)
-                        on_stack.add(succ)
-                        work.append((succ, iter(edges[succ])))
-                        advanced = True
-                        break
-                    if succ in on_stack:
-                        low[node] = min(low[node], index[succ])
-                if advanced:
-                    continue
-                work.pop()
-                if work:
-                    parent = work[-1][0]
-                    low[parent] = min(low[parent], low[node])
-                if low[node] == index[node]:
-                    component = []
-                    while True:
-                        popped = stack.pop()
-                        on_stack.discard(popped)
-                        component.append(popped)
-                        if popped == node:
-                            break
-                    components.append(component)
-        return components
+        return scc_order(self.program, graph)
 
     # -- per-body summarisation ---------------------------------------------
+
+    def _calls_self(self, body: Body) -> bool:
+        """Does ``body`` (same-thread) call itself?  Mirrors the call
+        graph's self-edge test without needing the graph."""
+        for _bb, term in body.iter_terminators():
+            if term.kind is TerminatorKind.CALL and term.func is not None \
+                    and self._callee_of(body, term) == body.key:
+                return True
+        return False
 
     def _callee_of(self, body: Body, term) -> Optional[str]:
         """Same-thread callee key of a call terminator, or None."""

@@ -1,0 +1,382 @@
+"""Parallel + incremental execution layer for the summary solve.
+
+The :class:`~repro.analysis.engine.SummaryEngine` solves the condensed
+call graph bottom-up; this module decides *how* that schedule runs:
+
+* **Waves** — :func:`repro.analysis.callgraph.wave_partition` groups the
+  SCCs into levels whose members share no edges, so every component in a
+  wave can be solved independently once the previous waves converged.
+* **Fan-out** — with ``config.jobs > 1``, a wave's unsolved components
+  are chunked across a ``ProcessPoolExecutor``.  Workers are stateless:
+  each task carries the member bodies, the program's key set (so callee
+  resolution behaves exactly as in-process) and the already-converged
+  callee summaries, and returns the component summaries.  Results are
+  merged in the original reverse-topological component order, never in
+  completion order, so findings are byte-identical at any worker count.
+* **Incrementality** — a content-addressed on-disk cache
+  (:class:`SummaryCache`).  A component's key hashes its members' MIR
+  fingerprints plus the *summary* fingerprints of its external callees,
+  which gives early cutoff for free: editing a function invalidates its
+  own component, and its callers only when its summary actually changed.
+  Corrupted or stale entries are dropped and recomputed, never trusted.
+
+Obs surface: ``analysis.wave`` spans (one per wave),
+``analysis.cache.{hit,miss,store,evict,corrupt}`` counters, and
+``analysis.executor.{solved,cached}_functions`` totals — the numbers the
+incremental-rerun benchmarks and tests assert on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.analysis.callgraph import (
+    component_callees, scc_order, wave_partition,
+)
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.summaries import (
+    FunctionSummary, canonical, summary_fingerprint,
+)
+from repro.mir.nodes import Body, Program
+
+#: Bump when the summary format or solve semantics change: stale cache
+#: entries from older formats must never be served.
+CACHE_FORMAT = 1
+
+
+def body_fingerprint(body: Body) -> str:
+    """Content hash of one function's MIR (spans included — summaries
+    carry spans, so a moved function must not serve stale locations)."""
+    return hashlib.sha256(canonical(body).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# On-disk summary cache
+# ---------------------------------------------------------------------------
+
+class SummaryCache:
+    """Content-addressed store of per-component summary dicts.
+
+    One pickle file per key under ``root``.  Writes are atomic
+    (tempfile + rename) so concurrent workers and sessions sharing a
+    cache directory can only ever observe complete entries.  Any failure
+    to load — unreadable file, truncated pickle, wrong payload shape —
+    counts as a miss: the entry is evicted and the component recomputed.
+    """
+
+    def __init__(self, root: str, limit: int) -> None:
+        self.root = root
+        self.limit = limit
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".summary.pkl")
+
+    def get(self, key: str) -> Optional[Dict[str, FunctionSummary]]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated, corrupted, or unreadable: recompute instead of
+            # crashing, and drop the bad entry so it cannot recur.
+            obs.count("analysis.cache.corrupt")
+            self._remove(path)
+            return None
+        if not isinstance(payload, dict) or not all(
+                isinstance(k, str) and isinstance(v, FunctionSummary)
+                for k, v in payload.items()):
+            obs.count("analysis.cache.corrupt")
+            self._remove(path)
+            return None
+        return payload
+
+    def put(self, key: str, summaries: Dict[str, FunctionSummary]) -> None:
+        path = self._path(key)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(summaries, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            return        # a full or read-only cache disables itself
+        obs.count("analysis.cache.store")
+        self._evict_over_limit()
+
+    def _remove(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def _evict_over_limit(self) -> None:
+        try:
+            entries = [e for e in os.scandir(self.root)
+                       if e.name.endswith(".summary.pkl")]
+        except OSError:
+            return
+        excess = len(entries) - self.limit
+        if excess <= 0:
+            return
+        try:
+            entries.sort(key=lambda e: (e.stat().st_mtime, e.name))
+        except OSError:          # entry vanished under a concurrent evict
+            return
+        for entry in entries[:excess]:
+            self._remove(entry.path)
+            obs.count("analysis.cache.evict")
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+class _SkeletonFunctions(dict):
+    """``program.functions`` stand-in for workers: full key membership,
+    bodies only for the components being solved."""
+
+    def __init__(self, all_keys, bodies) -> None:
+        super().__init__(bodies)
+        self._all_keys = all_keys
+
+    def __contains__(self, key) -> bool:
+        return key in self._all_keys or dict.__contains__(self, key)
+
+
+def _solve_chunk(payload: bytes) -> bytes:
+    """Solve a chunk of independent components in a worker process.
+
+    The payload is explicitly pickled on both legs so the task stays a
+    plain bytes → bytes function regardless of executor implementation.
+    Returns ``(results, iterations, counters)`` where results maps
+    scc_id → {fn key: summary} in component order.
+    """
+    from repro.analysis.engine import SummaryEngine
+
+    comps, bodies, all_keys, callee_summaries = pickle.loads(payload)
+    program = Program(functions=_SkeletonFunctions(all_keys, bodies))
+    with obs.collecting("executor-worker") as collector:
+        engine = SummaryEngine(program)
+        engine.adopt_summaries(callee_summaries)
+        results: Dict[int, Dict[str, FunctionSummary]] = {}
+        iterations = 0
+        for scc_id, component in comps:
+            iterations += engine.solve_component(component)
+            results[scc_id] = {key: engine._summaries[key]
+                               for key in component}
+    return pickle.dumps((results, iterations, dict(collector.counters)),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# ---------------------------------------------------------------------------
+# Main-process executor
+# ---------------------------------------------------------------------------
+
+class AnalysisExecutor:
+    """Schedules one engine's summary solve over waves of SCCs."""
+
+    def __init__(self, engine, config: AnalysisConfig,
+                 pool=None) -> None:
+        self.engine = engine
+        self.config = config
+        self._pool = pool          # optionally session-owned, shared
+        self._owns_pool = pool is None
+        self._pool_broken = False
+
+    # -- pool management ----------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is not None or self._pool_broken:
+            return self._pool
+        self._pool = create_pool(self.config.jobs)
+        if self._pool is None:
+            self._pool_broken = True
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- cache keying --------------------------------------------------------
+
+    def _component_key(self, component: List[str], graph,
+                       body_fps: Dict[str, str],
+                       summary_fps: Dict[str, str]) -> str:
+        program = self.engine.program
+        h = hashlib.sha256()
+        h.update(f"repro-summary-cache-v{CACHE_FORMAT}"
+                 f":proj{self.engine._MAX_PROJ}\x00".encode())
+        for key in sorted(component):
+            fp = body_fps.get(key)
+            if fp is None:
+                fp = body_fps[key] = body_fingerprint(
+                    program.functions[key])
+            h.update(key.encode())
+            h.update(b"\x00")
+            h.update(fp.encode())
+            h.update(b"\x01")
+        h.update(b"\x02callees\x02")
+        for callee in sorted(component_callees(component, graph, program)):
+            h.update(callee.encode())
+            h.update(b"\x00")
+            h.update(summary_fps[callee].encode())
+            h.update(b"\x01")
+        return h.hexdigest()
+
+    # -- solve ---------------------------------------------------------------
+
+    def solve(self) -> None:
+        engine = self.engine
+        program = engine.program
+        graph = engine.call_graph
+        components = scc_order(program, graph)
+        obs.gauge("analysis.summaries.sccs", len(components))
+        waves = wave_partition(components, graph, program)
+        obs.gauge("analysis.executor.waves", len(waves))
+
+        cache: Optional[SummaryCache] = None
+        if self.config.caching_enabled:
+            cache = SummaryCache(self.config.cache_dir,
+                                 self.config.cache_limit)
+        body_fps: Dict[str, str] = {}
+        summary_fps: Dict[str, str] = {}
+        total_iterations = 0
+        solved_functions = 0
+        cached_functions = 0
+
+        try:
+            for wave_index, wave in enumerate(waves):
+                with obs.span("analysis.wave", index=wave_index,
+                              sccs=len(wave)):
+                    pending: List[Tuple[int, List[str], Optional[str]]] = []
+                    for scc_id in wave:
+                        component = components[scc_id]
+                        ckey = None
+                        if cache is not None:
+                            ckey = self._component_key(
+                                component, graph, body_fps, summary_fps)
+                            hit = cache.get(ckey)
+                            if hit is not None \
+                                    and set(hit) == set(component):
+                                obs.count("analysis.cache.hit")
+                                cached_functions += len(component)
+                                engine.adopt_summaries(hit)
+                                for key in component:
+                                    summary_fps[key] = \
+                                        summary_fingerprint(hit[key])
+                                continue
+                            obs.count("analysis.cache.miss")
+                        pending.append((scc_id, component, ckey))
+
+                    results, iterations = self._solve_pending(pending, graph)
+                    total_iterations += iterations
+                    # Merge strictly in reverse-topological component
+                    # order — independent of worker completion order.
+                    for scc_id, component, ckey in pending:
+                        summaries = results[scc_id]
+                        solved_functions += len(component)
+                        engine.adopt_summaries(
+                            {key: summaries[key] for key in component})
+                        if cache is not None:
+                            cache.put(ckey, {key: summaries[key]
+                                             for key in component})
+                            for key in component:
+                                summary_fps[key] = \
+                                    summary_fingerprint(summaries[key])
+        finally:
+            self._close_pool()
+        obs.count("analysis.summaries.iterations", total_iterations)
+        obs.count("analysis.executor.solved_functions", solved_functions)
+        obs.count("analysis.executor.cached_functions", cached_functions)
+
+    def _solve_pending(self, pending, graph):
+        """Solve a wave's unsatisfied components; returns
+        ``({scc_id: {key: summary}}, iterations)``."""
+        engine = self.engine
+        results: Dict[int, Dict[str, FunctionSummary]] = {}
+        iterations = 0
+        pool = None
+        if self.config.jobs > 1 and len(pending) > 1:
+            pool = self._ensure_pool()
+        if pool is None:
+            for scc_id, component, _ckey in pending:
+                iterations += engine.solve_component(component)
+                results[scc_id] = {key: engine._summaries[key]
+                                   for key in component}
+            return results, iterations
+
+        program = engine.program
+        all_keys = frozenset(program.functions)
+        chunks = _chunk(pending, self.config.jobs)
+        futures = []
+        for chunk in chunks:
+            comps = [(scc_id, component) for scc_id, component, _ in chunk]
+            bodies = {key: program.functions[key]
+                      for _, component, _ in chunk for key in component}
+            callees = set()
+            for _, component, _ in chunk:
+                callees |= component_callees(component, graph, program)
+            callee_summaries = {key: engine._summaries[key]
+                                for key in sorted(callees)
+                                if key in engine._summaries}
+            payload = pickle.dumps(
+                (comps, bodies, all_keys, callee_summaries),
+                protocol=pickle.HIGHEST_PROTOCOL)
+            futures.append(pool.submit(_solve_chunk, payload))
+        for future in futures:
+            chunk_results, chunk_iterations, counters = \
+                pickle.loads(future.result())
+            results.update(chunk_results)
+            iterations += chunk_iterations
+            _merge_counters(counters)
+        return results, iterations
+
+
+def _chunk(items: List, jobs: int) -> List[List]:
+    """Split ``items`` into at most ``2 * jobs`` contiguous chunks —
+    enough slices for load balancing without drowning small waves in
+    per-task pickling overhead."""
+    if not items:
+        return []
+    target = max(1, min(len(items), 2 * jobs))
+    size = (len(items) + target - 1) // target
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _merge_counters(counters: Dict[str, float]) -> None:
+    """Fold a worker's obs counters into the installed collector (if
+    any), so ``--profile`` stays truthful under fan-out."""
+    for name, value in sorted(counters.items()):
+        obs.count(name, value)
+
+
+def create_pool(jobs: int):
+    """A ``ProcessPoolExecutor`` with ``jobs`` workers, or ``None`` when
+    the platform cannot give us one (no fork support, locked-down
+    semaphores, …) — callers degrade to in-process solving."""
+    try:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:           # platform without fork
+            context = multiprocessing.get_context()
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+        # Fail fast (and fall back) when process start is forbidden.
+        pool.submit(int, 0).result()
+        return pool
+    except Exception as exc:
+        warnings.warn(f"process pool unavailable ({exc!r}); "
+                      f"running jobs=1 in-process", RuntimeWarning,
+                      stacklevel=2)
+        obs.count("analysis.executor.pool_unavailable")
+        return None

@@ -52,7 +52,9 @@ of ``"arg"`` / ``"static"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import enum
+import hashlib
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.lifetime import resolve_ref_chain
@@ -243,3 +245,46 @@ def opaque_lock(callee: str, lock: Tuple) -> Tuple:
     matches another lock id, but its presence keeps the access marked as
     lock-protected rather than silently dropping the protection."""
     return ("opaque", callee) + tuple(lock)
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization and fingerprints (feeds the executor's cache)
+# ---------------------------------------------------------------------------
+
+def canonical(obj) -> str:
+    """A deterministic textual form of analysis values.
+
+    ``repr`` is *not* stable enough for content-addressed cache keys:
+    set/frozenset iteration follows string hashing, which is randomised
+    per process (``PYTHONHASHSEED``), and summary locksets are
+    frozensets.  This walk sorts every unordered container and expands
+    dataclasses field-by-field, so equal values — whether computed in
+    this process, in a worker, or loaded from a previous run's cache —
+    always canonicalise to the same bytes.
+    """
+    if isinstance(obj, (frozenset, set)):
+        return "{" + ",".join(sorted(canonical(x) for x in obj)) + "}"
+    if isinstance(obj, dict):
+        return "{" + ",".join(sorted(
+            canonical(k) + ":" + canonical(v) for k, v in obj.items())) + "}"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(canonical(x) for x in obj) + "]"
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if is_dataclass(obj) and not isinstance(obj, type):
+        inner = ",".join(f"{f.name}={canonical(getattr(obj, f.name))}"
+                         for f in fields(obj))
+        return f"{type(obj).__name__}({inner})"
+    return repr(obj)
+
+
+def summary_fingerprint(summary: "FunctionSummary") -> str:
+    """Content hash of a summary's *meaning* (order-insensitive).
+
+    Two summaries with equal facts fingerprint identically even when
+    their dicts were populated in different orders or their frozensets
+    iterate differently — the property the executor's cache keys rely on
+    for early cutoff (an edited callee whose summary did not change does
+    not invalidate its callers).
+    """
+    return hashlib.sha256(canonical(summary).encode()).hexdigest()

@@ -1,0 +1,273 @@
+"""``repro.api`` — the stable public facade of the analysis pipeline.
+
+Three lines analyze a program::
+
+    from repro import api
+    report = api.analyze("examples/figure7_uaf.rs")
+    print(report.render())
+
+:func:`analyze` accepts a path or source text, runs the configured
+detectors, and returns an :class:`AnalysisReport` whose ``to_dict()``
+payload is schema-versioned (see ``SCHEMA_VERSION`` and the "Report JSON
+schema" section of DESIGN.md).
+
+For anything beyond a one-shot call, use an :class:`AnalysisSession`: it
+owns one validated :class:`~repro.analysis.config.AnalysisConfig`, one
+worker-process pool (reused across every program it analyzes), and the
+connection to the on-disk summary cache — so a service analyzing a
+stream of files pays pool start-up once and shares incremental state::
+
+    with api.AnalysisSession(api.AnalysisConfig(jobs=4,
+                                                cache_dir=".repro-cache")) as s:
+        reports = s.analyze_files(paths)
+
+Everything the CLI's ``check`` / ``detectors`` / ``explain`` subcommands
+do goes through this module; the CLI is a thin argument-parsing client.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
+from repro.analysis.config import AnalysisConfig, coerce_config
+from repro.detectors.base import Detector
+from repro.detectors.report import Report, SCHEMA_VERSION
+from repro.driver import CompiledProgram, compile_source
+
+__all__ = [
+    "AnalysisConfig", "AnalysisReport", "AnalysisSession", "SCHEMA_VERSION",
+    "analyze", "detector_catalog",
+]
+
+SourceOrPath = Union[str, "os.PathLike[str]"]
+
+
+def detector_catalog() -> List[Dict[str, str]]:
+    """Name, description and paper section of every registered detector."""
+    from repro.detectors.registry import detector_catalog as _catalog
+    return _catalog()
+
+
+@dataclass
+class AnalysisReport:
+    """The result of analyzing one program through the facade.
+
+    Wraps the raw detector :class:`~repro.detectors.report.Report` with
+    the input's name, the config that produced it, and the versioned
+    JSON payload downstream consumers pin against.
+    """
+
+    name: str
+    report: Report
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+
+    @property
+    def findings(self):
+        return self.report.findings
+
+    @property
+    def exit_code(self) -> int:
+        """Uniform CLI contract: 1 when there are findings, else 0."""
+        return 1 if self.report.findings else 0
+
+    def render(self) -> str:
+        return self.report.render()
+
+    def explain(self) -> str:
+        return self.report.explain()
+
+    def to_dict(self) -> Dict[str, object]:
+        """The schema-versioned JSON payload (see DESIGN.md)."""
+        return self.report.to_dict()
+
+
+def _looks_like_path(source_or_path: SourceOrPath) -> bool:
+    if isinstance(source_or_path, os.PathLike):
+        return True
+    if "\n" in source_or_path:
+        return False
+    return os.path.exists(source_or_path) \
+        or source_or_path.endswith((".rs", ".mrs"))
+
+
+def _load(source_or_path: SourceOrPath,
+          name: Optional[str]) -> Tuple[str, str]:
+    """Resolve the facade's flexible input to ``(name, text)``."""
+    if _looks_like_path(source_or_path):
+        path = os.fspath(source_or_path)
+        with open(path, "r", encoding="utf-8") as f:
+            return name or path, f.read()
+    return name or "<input>", str(source_or_path)
+
+
+def _resolve_detector_arg(detectors) -> Optional[List[Detector]]:
+    """``detectors=`` accepts names or ready instances; names are
+    validated by the registry (the single place unknown names fail)."""
+    if detectors is None:
+        return None
+    from repro.detectors.registry import resolve_detectors
+    instances: List[Detector] = []
+    names: List[str] = []
+    for d in detectors:
+        if isinstance(d, str):
+            names.append(d)
+        elif isinstance(d, Detector):
+            instances.append(d)
+        else:
+            raise TypeError(
+                f"detectors entries must be names or Detector instances, "
+                f"got {type(d).__name__}")
+    return instances + resolve_detectors(names)
+
+
+def _analyze_task(payload: bytes) -> bytes:
+    """Worker-side whole-file analysis (compile + detect, jobs=1)."""
+    from repro.detectors.registry import run_detectors
+    name, text, config = pickle.loads(payload)
+    with obs.collecting("api-worker") as collector:
+        compiled = compile_source(
+            text, name=name, emit_bounds_checks=config.emit_bounds_checks)
+        report = run_detectors(compiled.program, source=compiled.source,
+                               config=config)
+    return pickle.dumps((report, dict(collector.counters)),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class AnalysisSession:
+    """One validated config + one reusable executor runtime.
+
+    The session owns the worker pool (created lazily on the first
+    parallel call, shut down by :meth:`close` / the context manager) and
+    hands it to every engine it creates, so consecutive analyses — a
+    corpus sweep, a watch loop, a server — never pay pool start-up
+    twice.  All entry points are deterministic: results come back in
+    input order with findings byte-identical at any ``jobs`` value.
+    """
+
+    def __init__(self, config: Optional[AnalysisConfig] = None, *,
+                 interprocedural: Optional[bool] = None) -> None:
+        self.config = coerce_config(config, interprocedural=interprocedural,
+                                    _owner="AnalysisSession")
+        if self.config.detectors is not None:
+            # Fail on unknown names at session construction, not mid-run.
+            _resolve_detector_arg(self.config.detectors)
+        self._pool = None
+        self._pool_attempted = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError("AnalysisSession is closed")
+        if self._pool is None and not self._pool_attempted \
+                and self.config.jobs > 1:
+            from repro.analysis.executor import create_pool
+            self._pool_attempted = True
+            self._pool = create_pool(self.config.jobs)
+        return self._pool
+
+    # -- analysis entry points ----------------------------------------------
+
+    def analyze(self, source_or_path: SourceOrPath, *,
+                name: Optional[str] = None,
+                detectors=None) -> AnalysisReport:
+        """Compile and analyze one program (path or source text).
+
+        The engine-level executor fans SCC waves out across the
+        session's pool when ``config.jobs > 1``.
+        """
+        resolved_name, text = _load(source_or_path, name)
+        compiled = self.compile(text, name=resolved_name)
+        return self.analyze_compiled(compiled, detectors=detectors)
+
+    def compile(self, text: str, name: str = "<input>") -> CompiledProgram:
+        return compile_source(
+            text, name=name,
+            emit_bounds_checks=self.config.emit_bounds_checks)
+
+    def analyze_compiled(self, compiled: CompiledProgram, *,
+                         detectors=None) -> AnalysisReport:
+        from repro.detectors.registry import run_detectors
+        pool = self._ensure_pool()
+        report = run_detectors(
+            compiled.program, detectors=_resolve_detector_arg(detectors),
+            source=compiled.source, config=self.config, pool=pool)
+        return AnalysisReport(name=compiled.source.name, report=report,
+                              config=self.config)
+
+    def analyze_sources(self, named_sources: Sequence[Tuple[str, str]], *,
+                        detectors=None) -> List[AnalysisReport]:
+        """Analyze many independent programs, fanning whole programs out
+        across the worker pool (the corpus/service shape).
+
+        Each worker compiles and analyzes one program with an in-process
+        engine (no nested pools) but shares the summary cache directory.
+        Results arrive in input order; worker obs counters fold into the
+        installed collector.
+        """
+        explicit = _resolve_detector_arg(detectors)
+        pool = None
+        if explicit is None and self.config.jobs > 1 \
+                and len(named_sources) > 1:
+            # Detector *instances* don't round-trip a process boundary;
+            # explicit instance lists analyze in-process.
+            pool = self._ensure_pool()
+        if pool is None:
+            return [self.analyze_compiled(
+                        self.compile(text, name=name), detectors=detectors)
+                    for name, text in named_sources]
+
+        worker_config = self.config.with_(jobs=1)
+        futures = [
+            pool.submit(_analyze_task, pickle.dumps(
+                (name, text, worker_config),
+                protocol=pickle.HIGHEST_PROTOCOL))
+            for name, text in named_sources]
+        out: List[AnalysisReport] = []
+        for (name, _text), future in zip(named_sources, futures):
+            report, counters = pickle.loads(future.result())
+            for counter_name, value in sorted(counters.items()):
+                obs.count(counter_name, value)
+            out.append(AnalysisReport(name=name, report=report,
+                                      config=self.config))
+        return out
+
+    def analyze_files(self, paths: Iterable[SourceOrPath], *,
+                      detectors=None) -> List[AnalysisReport]:
+        """Read and analyze many files (order-preserving, parallel)."""
+        named = []
+        for path in paths:
+            resolved = os.fspath(path)
+            with open(resolved, "r", encoding="utf-8") as f:
+                named.append((resolved, f.read()))
+        return self.analyze_sources(named, detectors=detectors)
+
+
+def analyze(source_or_path: SourceOrPath, *, detectors=None,
+            config: Optional[AnalysisConfig] = None,
+            name: Optional[str] = None) -> AnalysisReport:
+    """One-shot facade: compile + analyze, returning the report.
+
+    Equivalent to a single-use :class:`AnalysisSession`; prefer a session
+    when analyzing more than one program.
+    """
+    with AnalysisSession(config) as session:
+        return session.analyze(source_or_path, detectors=detectors,
+                               name=name)

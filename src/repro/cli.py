@@ -1,8 +1,9 @@
-"""Command-line interface.
+"""Command-line interface — a thin client over :mod:`repro.api`.
 
 Subcommands::
 
-    minirust check FILE [--detector NAME]... [--json] [--profile]
+    minirust check FILE... [--detector NAME]... [--json] [--profile]
+                           [--jobs N] [--cache-dir DIR] [--no-cache]
                                                run static detectors
     minirust detectors                         list every detector name
     minirust explain FILE                      findings + provenance trails
@@ -31,38 +32,35 @@ from repro.driver import (
 from repro.lang.diagnostics import CompileError
 
 
-def _selected_detectors(args):
-    """Resolve ``--detector`` names to instances, or None for all.
-
-    Raises ``SystemExit``-free usage errors by returning the string name
-    that failed to resolve.
-    """
-    if not getattr(args, "detector", None):
-        return None, None
-    from repro.detectors.registry import detector_by_name
-    detectors = []
-    for name in args.detector:
-        cls = detector_by_name(name)
-        if cls is None:
-            return None, name
-        detectors.append(cls())
-    return detectors, None
+def _analysis_config(args):
+    """Build the one validated AnalysisConfig from CLI flags."""
+    from repro.api import AnalysisConfig
+    detector_names = tuple(getattr(args, "detector", ()) or ()) or None
+    return AnalysisConfig(
+        detectors=detector_names,
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False))
 
 
-def _check_report(args):
-    compiled = compile_file(args.file)
-    detectors, bad_name = _selected_detectors(args)
-    if bad_name is not None:
-        print(f"unknown detector: {bad_name}", file=sys.stderr)
+def _session_reports(args):
+    """Analyze every FILE through one AnalysisSession; None on usage
+    errors (already printed)."""
+    from repro.api import AnalysisSession
+    try:
+        config = _analysis_config(args)
+        with AnalysisSession(config) as session:
+            return session.analyze_files(args.files)
+    except ValueError as exc:
+        # Unknown detector names and bad flag values land here — the
+        # single validation point of the config object.
+        print(str(exc), file=sys.stderr)
         return None
-    if detectors is not None:
-        return run_detectors(compiled, detectors)
-    return run_all_detectors(compiled)
 
 
 def _cmd_detectors(args) -> int:
     """Print every registry detector with its one-line description."""
-    from repro.detectors.registry import detector_catalog
+    from repro.api import detector_catalog
     catalog = detector_catalog()
     if getattr(args, "json", False):
         print(json.dumps(catalog, indent=2))
@@ -78,35 +76,46 @@ def _cmd_detectors(args) -> int:
 def _cmd_check(args) -> int:
     if args.list_detectors:
         return _cmd_detectors(args)
-    if args.file is None:
-        print("usage: minirust check FILE (or --list-detectors)",
+    if not args.files:
+        print("usage: minirust check FILE... (or --list-detectors)",
               file=sys.stderr)
         return 2
-    report = _check_report(args)
-    if report is None:
+    reports = _session_reports(args)
+    if reports is None:
         return 2
     if args.json:
-        payload = report.to_dict()
+        if len(reports) == 1:
+            payload = reports[0].to_dict()
+        else:
+            from repro.api import SCHEMA_VERSION
+            payload = {"schema_version": SCHEMA_VERSION,
+                       "reports": [r.to_dict() for r in reports]}
         collector = obs.get_collector()
         if collector is not None:
             payload["profile"] = collector.to_dict()
         print(json.dumps(payload, indent=2))
     else:
-        print(report.render())
-        if args.advice and report.findings:
-            from repro.tools.fixes import suggest_fixes
-            print("\nsuggested fixes:")
-            for line in suggest_fixes(report.findings):
-                print("  " + line)
-    return 1 if report.findings else 0
+        for report in reports:
+            if len(reports) > 1:
+                print(f"== {report.name}")
+            print(report.render())
+            if args.advice and report.findings:
+                from repro.tools.fixes import suggest_fixes
+                print("\nsuggested fixes:")
+                for line in suggest_fixes(report.findings):
+                    print("  " + line)
+    return 1 if any(r.findings for r in reports) else 0
 
 
 def _cmd_explain(args) -> int:
-    report = _check_report(args)
-    if report is None:
+    reports = _session_reports(args)
+    if reports is None:
         return 2
-    print(report.explain())
-    return 1 if report.findings else 0
+    for report in reports:
+        if len(reports) > 1:
+            print(f"== {report.name}")
+        print(report.explain())
+    return 1 if any(r.findings for r in reports) else 0
 
 
 def _cmd_stats(args) -> int:
@@ -261,10 +270,15 @@ def _cmd_tables(args) -> int:
 
 def _cmd_corpus(args) -> int:
     from repro.corpus import evaluate_detectors, generate_corpus
+    try:
+        config = _analysis_config(args).with_(seed=args.seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     corpus = generate_corpus(seed=args.seed, scale=args.scale)
     print(f"corpus: {len(corpus.files)} files, {corpus.total_loc} LOC, "
           f"{len(corpus.injected)} injected bugs")
-    result = evaluate_detectors(corpus)
+    result = evaluate_detectors(corpus, config=config)
     print(f"{'detector':24} {'injected':>8} {'found':>6} {'FP':>4} "
           f"{'recall':>7}")
     for name, injected, found, fps, recall in result.summary_rows():
@@ -279,7 +293,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("check", help="run static bug detectors")
-    p.add_argument("file", nargs="?", default=None)
+    p.add_argument("files", nargs="*", default=[], metavar="FILE")
     p.add_argument("--detector", "--detectors", action="append",
                    default=[], dest="detector")
     p.add_argument("--list-detectors", action="store_true",
@@ -290,6 +304,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="emit the report (and profile, if any) as JSON")
     p.add_argument("--profile", action="store_true",
                    help="print the phase/detector timing tree")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the analysis executor "
+                        "(findings are identical at any N)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed summary cache directory; warm "
+                        "runs re-solve only changed functions")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip summary-cache lookups and stores")
     p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("detectors", help="list every registry detector "
@@ -299,9 +321,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p = sub.add_parser("explain", help="findings with their provenance "
                                        "trails")
-    p.add_argument("file")
+    p.add_argument("files", nargs="+", metavar="FILE")
     p.add_argument("--detector", "--detectors", action="append",
                    default=[], dest="detector")
+    p.add_argument("--jobs", type=int, default=1, metavar="N")
+    p.add_argument("--cache-dir", default=None, metavar="DIR")
+    p.add_argument("--no-cache", action="store_true")
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("run", help="interpret a program (Miri-like)")
@@ -338,6 +363,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                                       "detectors")
     p.add_argument("--scale", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="analyze corpus programs across N worker "
+                        "processes")
+    p.add_argument("--cache-dir", default=None, metavar="DIR")
+    p.add_argument("--no-cache", action="store_true")
     p.add_argument("--profile", action="store_true",
                    help="print corpus generation/evaluation timings")
     p.set_defaults(func=_cmd_corpus)

@@ -100,6 +100,13 @@ class Corpus:
     def total_loc(self) -> int:
         return sum(f.loc for f in self.files)
 
+    def combined_source(self) -> str:
+        """Every corpus file concatenated into one compilation unit —
+        function names are suffix-unique by construction, so the result
+        compiles as a single whole-program analysis workload (what the
+        parallel-executor benchmarks use)."""
+        return "\n".join(f.text for f in self.files)
+
     def by_project(self) -> Dict[str, List[CorpusFile]]:
         out: Dict[str, List[CorpusFile]] = {}
         for f in self.files:
@@ -213,18 +220,22 @@ class EvaluationResult:
         return rows
 
 
-def evaluate_detectors(corpus: Corpus,
-                       detectors: Optional[List] = None) -> EvaluationResult:
+def evaluate_detectors(corpus: Corpus, detectors: Optional[List] = None,
+                       config=None) -> EvaluationResult:
     """Compile every corpus file, run the detectors, score the outcome.
 
     A finding *matches* an injection when it comes from the expected
     detector and its function key mentions the injected name's suffix.
     Findings in files with no injection (or from unexpected detectors in
     clean functions) count as false positives.
+
+    ``config`` (an :class:`~repro.analysis.config.AnalysisConfig`) drives
+    the analysis session: with ``jobs > 1`` whole corpus programs fan out
+    across worker processes, and ``cache_dir`` makes warm re-evaluations
+    incremental.  Scores are deterministic at any worker count.
     """
     from repro import obs
-    from repro.detectors.registry import run_detectors
-    from repro.driver import compile_source
+    from repro.api import AnalysisSession
 
     result = EvaluationResult(files=len(corpus.files), loc=corpus.total_loc)
     scores = result.scores
@@ -238,11 +249,12 @@ def evaluate_detectors(corpus: Corpus,
         score_for(bug.template.detector).injected += 1
 
     with obs.span("corpus.evaluate", files=len(corpus.files)):
-        for file in corpus.files:
-            compiled = compile_source(file.text, name=file.name)
-            report = run_detectors(compiled.program,
-                                   detectors=detectors,
-                                   source=compiled.source)
+        with AnalysisSession(config) as session:
+            analyses = session.analyze_sources(
+                [(f.name, f.text) for f in corpus.files],
+                detectors=detectors)
+        for file, analysis in zip(corpus.files, analyses):
+            report = analysis.report
             obs.count("corpus.programs_evaluated")
             result.total_findings += len(report.findings)
             matched_bugs = set()

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.analysis.callgraph import CallGraph
+from repro.analysis.config import AnalysisConfig, coerce_config
 from repro.analysis.engine import SummaryEngine
 from repro.analysis.init import compute_init
 from repro.analysis.lifetime import (
@@ -34,16 +35,22 @@ class AnalysisContext:
     regions), never concatenated strings — a body literally named
     ``foo#try`` must not collide with the cached try-variant of ``foo``.
 
-    ``interprocedural=False`` is the ablation switch: every function
-    summary collapses to the bottom element and points-to runs without
-    return summaries, which is what the benchmarks use to measure the
-    interprocedural layer's contribution.
+    All knobs arrive in one :class:`~repro.analysis.config.AnalysisConfig`
+    (``AnalysisConfig(interprocedural=False)`` is the ablation switch:
+    every function summary collapses to the bottom element and points-to
+    runs without return summaries, which is what the benchmarks use to
+    measure the interprocedural layer's contribution).  The legacy
+    ``interprocedural=`` keyword still works for one release and warns.
     """
 
     def __init__(self, program: Program,
-                 interprocedural: bool = True) -> None:
+                 config: Optional[AnalysisConfig] = None, *,
+                 interprocedural: Optional[bool] = None,
+                 pool=None) -> None:
+        self.config = coerce_config(config, interprocedural=interprocedural,
+                                    _owner="AnalysisContext")
         self.program = program
-        self.engine = SummaryEngine(program, interprocedural=interprocedural)
+        self.engine = SummaryEngine(program, self.config, pool=pool)
         self._guard_regions: Dict[Tuple[str, bool], List[GuardRegion]] = {}
         self._storage_ranges: Dict[str, StorageRanges] = {}
         self._init_states: Dict[str, dict] = {}

@@ -72,18 +72,39 @@ def detector_catalog() -> List[Dict[str, str]]:
             for cls in ALL_DETECTORS]
 
 
+def resolve_detectors(names) -> List[Detector]:
+    """Instantiate detectors from names, raising ``ValueError`` on an
+    unknown name — the single validation point for
+    ``AnalysisConfig.detectors`` and the CLI's ``--detector``."""
+    detectors = []
+    for name in names:
+        cls = detector_by_name(name)
+        if cls is None:
+            known = ", ".join(c.name for c in ALL_DETECTORS)
+            raise ValueError(f"unknown detector: {name!r} (known: {known})")
+        detectors.append(cls())
+    return detectors
+
+
 def run_detectors(program, detectors: Optional[List[Detector]] = None,
-                  source=None) -> Report:
+                  source=None, config=None, pool=None) -> Report:
     """Run detectors over a MIR program and return a deduplicated report.
 
-    Each detector runs under its own ``detector.<name>`` span with a
-    findings counter, so ``--profile`` breaks the check time down
-    per-detector and per shared-analysis pass.
+    ``detectors`` (instances) wins over ``config.detectors`` (names);
+    with neither, the full registry runs.  Each detector runs under its
+    own ``detector.<name>`` span with a findings counter, so
+    ``--profile`` breaks the check time down per-detector and per
+    shared-analysis pass.
     """
     from repro import obs
+    from repro.analysis.config import coerce_config
+    config = coerce_config(config, _owner="run_detectors")
     if detectors is None:
-        detectors = [cls() for cls in ALL_DETECTORS]
-    ctx = AnalysisContext(program)
+        if config.detectors is not None:
+            detectors = resolve_detectors(config.detectors)
+        else:
+            detectors = [cls() for cls in ALL_DETECTORS]
+    ctx = AnalysisContext(program, config, pool=pool)
     report = Report(source=source)
     with obs.span("detectors"):
         for detector in detectors:

@@ -8,6 +8,14 @@ from typing import Dict, List, Optional
 
 from repro.lang.source import SourceFile, Span
 
+#: Version of the JSON report schema emitted by :meth:`Finding.to_dict`
+#: and :meth:`Report.to_dict` (and therefore ``minirust check --json``).
+#: Downstream consumers pin against this; the stable field set is
+#: documented in DESIGN.md ("Report JSON schema").  Bump the minor for
+#: additive changes, the major for anything that renames or removes a
+#: field.
+SCHEMA_VERSION = "1.0"
+
 
 class Severity(enum.Enum):
     ERROR = "error"        # definite bug pattern
@@ -57,6 +65,7 @@ class Finding:
     def to_dict(self, source: Optional[SourceFile] = None) -> Dict[str, object]:
         from repro.obs.provenance import jsonable
         out: Dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
             "detector": self.detector,
             "kind": self.kind,
             "severity": self.severity.value,
@@ -131,6 +140,7 @@ class Report:
         """Machine-readable report, shared by ``--json`` and the obs
         exporters."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "source": self.source.name if self.source is not None else None,
             "findings": [f.to_dict(self.source) for f in self.findings],
             "counts": self.counts(),

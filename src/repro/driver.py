@@ -1,10 +1,14 @@
 """End-to-end driver: source text → MIR program → detector report.
 
-This is the public front door of the library::
+The compile half (``compile_source`` / ``compile_file``) is the
+front-end entry point.  For analysis, prefer the stable facade in
+:mod:`repro.api`::
 
-    from repro import compile_source, run_all_detectors
-    program = compile_source(text)
-    report = run_all_detectors(program)
+    from repro import api
+    report = api.analyze("fn main() { ... }")
+
+``run_all_detectors`` / ``run_detectors`` remain as thin compatibility
+wrappers over the same machinery.
 """
 
 from __future__ import annotations
@@ -72,17 +76,17 @@ def compile_file(path: str) -> CompiledProgram:
         return compile_source(f.read(), name=path)
 
 
-def run_all_detectors(compiled) -> Report:
+def run_all_detectors(compiled, config=None) -> Report:
     """Run every registered detector; accepts a CompiledProgram or a raw
     MIR Program."""
     if isinstance(compiled, CompiledProgram):
-        return _run(compiled.program, source=compiled.source)
-    return _run(compiled)
+        return _run(compiled.program, source=compiled.source, config=config)
+    return _run(compiled, config=config)
 
 
-def run_detectors(compiled, detectors: List) -> Report:
+def run_detectors(compiled, detectors: List, config=None) -> Report:
     """Run a chosen set of detector *instances*."""
     if isinstance(compiled, CompiledProgram):
         return _run(compiled.program, detectors=detectors,
-                    source=compiled.source)
-    return _run(compiled, detectors=detectors)
+                    source=compiled.source, config=config)
+    return _run(compiled, detectors=detectors, config=config)

@@ -1,0 +1,184 @@
+"""Tests for the ``repro.api`` facade, ``AnalysisConfig`` validation,
+the deprecation shims, and report schema versioning."""
+
+import json
+import warnings
+
+import pytest
+
+from repro import api
+from repro.analysis.config import AnalysisConfig, coerce_config
+from repro.detectors.base import AnalysisContext
+from repro.detectors.report import SCHEMA_VERSION
+from repro.driver import compile_source
+from repro.detectors.registry import run_detectors
+
+UAF_SRC = """
+fn main() {
+    let v: Vec<i32> = Vec::new();
+    let p: *const i32 = v.as_ptr();
+    drop(v);
+    unsafe { print(*p); }
+}
+"""
+
+CLEAN_SRC = """
+fn main() { let x = 1; print(x); }
+"""
+
+
+class TestAnalyze:
+    def test_source_text(self):
+        report = api.analyze(UAF_SRC)
+        assert report.exit_code == 1
+        assert any(f.detector == "use-after-free" for f in report.findings)
+        assert report.name == "<input>"
+
+    def test_clean_source_exits_zero(self):
+        report = api.analyze(CLEAN_SRC)
+        assert report.exit_code == 0
+        assert report.render() == "no findings"
+
+    def test_path_input(self, tmp_path):
+        path = tmp_path / "prog.rs"
+        path.write_text(UAF_SRC)
+        report = api.analyze(path)
+        assert report.exit_code == 1
+        assert report.name == str(path)
+
+    def test_name_override(self):
+        report = api.analyze(UAF_SRC, name="mine.rs")
+        assert report.name == "mine.rs"
+        assert report.to_dict()["source"] == "mine.rs"
+
+    def test_detector_names_filter(self):
+        report = api.analyze(UAF_SRC, detectors=["double-lock"])
+        assert report.exit_code == 0
+
+    def test_unknown_detector_raises(self):
+        with pytest.raises(ValueError, match="unknown detector"):
+            api.analyze(UAF_SRC, detectors=["not-a-detector"])
+
+    def test_detector_instances_accepted(self):
+        from repro.detectors.use_after_free import UseAfterFreeDetector
+        report = api.analyze(UAF_SRC, detectors=[UseAfterFreeDetector()])
+        assert report.exit_code == 1
+
+    def test_bad_detector_type_raises(self):
+        with pytest.raises(TypeError, match="names or Detector"):
+            api.analyze(UAF_SRC, detectors=[42])
+
+
+class TestAnalysisSession:
+    def test_session_reusable_and_closable(self):
+        session = api.AnalysisSession()
+        first = session.analyze(UAF_SRC)
+        second = session.analyze(CLEAN_SRC)
+        assert first.exit_code == 1 and second.exit_code == 0
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.analyze(UAF_SRC)
+
+    def test_unknown_configured_detector_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown detector"):
+            api.AnalysisSession(AnalysisConfig(detectors=("nope",)))
+
+    def test_analyze_files(self, tmp_path):
+        paths = []
+        for i, src in enumerate([UAF_SRC, CLEAN_SRC]):
+            p = tmp_path / f"prog{i}.rs"
+            p.write_text(src)
+            paths.append(p)
+        with api.AnalysisSession() as session:
+            reports = session.analyze_files(paths)
+        assert [r.exit_code for r in reports] == [1, 0]
+        assert reports[0].name == str(paths[0])
+
+    def test_detector_catalog(self):
+        catalog = api.detector_catalog()
+        names = {entry["name"] for entry in catalog}
+        assert {"use-after-free", "double-lock"} <= names
+        assert all({"name", "description"} <= set(e) for e in catalog)
+
+
+class TestAnalysisConfig:
+    def test_frozen(self):
+        config = AnalysisConfig()
+        with pytest.raises(Exception):
+            config.jobs = 2
+
+    def test_with_returns_new_instance(self):
+        config = AnalysisConfig()
+        other = config.with_(jobs=4)
+        assert other.jobs == 4 and config.jobs == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(jobs=0)
+        with pytest.raises(ValueError):
+            AnalysisConfig(cache_limit=-1)
+        with pytest.raises(ValueError, match="not a string"):
+            AnalysisConfig(detectors="use-after-free")
+        with pytest.raises(ValueError, match="cache_dir"):
+            AnalysisConfig(cache_dir=7)
+
+    def test_detectors_tuple_ified(self):
+        config = AnalysisConfig(detectors=["use-after-free"])
+        assert config.detectors == ("use-after-free",)
+
+    def test_caching_enabled_needs_dir_and_flag(self, tmp_path):
+        assert not AnalysisConfig().caching_enabled
+        assert AnalysisConfig(cache_dir=str(tmp_path)).caching_enabled
+        assert not AnalysisConfig(cache_dir=str(tmp_path),
+                                  use_cache=False).caching_enabled
+
+
+class TestDeprecationShims:
+    def test_interprocedural_kwarg_warns(self):
+        program = compile_source(CLEAN_SRC).program
+        with pytest.warns(DeprecationWarning, match="interprocedural"):
+            context = AnalysisContext(program, interprocedural=False)
+        assert context.config.interprocedural is False
+
+    def test_legacy_positional_bool_still_works(self):
+        # The pre-AnalysisConfig call shape — a bare bool in the config
+        # position — keeps working for one release, with the same
+        # warning as the keyword form.
+        program = compile_source(CLEAN_SRC).program
+        with pytest.warns(DeprecationWarning, match="interprocedural"):
+            context = AnalysisContext(program, False)
+        assert context.config.interprocedural is False
+
+    def test_coerce_config_passthrough(self):
+        config = AnalysisConfig(jobs=2)
+        assert coerce_config(config) is config
+        assert coerce_config(None) == AnalysisConfig()
+
+    def test_run_detectors_accepts_config(self):
+        compiled = compile_source(UAF_SRC)
+        report = run_detectors(
+            compiled.program, source=compiled.source,
+            config=AnalysisConfig(detectors=("use-after-free",)))
+        assert all(f.detector == "use-after-free" for f in report.findings)
+        assert report.findings
+
+
+class TestSchemaVersion:
+    def test_report_dict_carries_version(self):
+        payload = api.analyze(UAF_SRC).to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload) == {"schema_version", "source", "findings",
+                                "counts", "errors", "warnings"}
+
+    def test_finding_dict_carries_version_and_stable_fields(self):
+        payload = api.analyze(UAF_SRC).to_dict()
+        finding = payload["findings"][0]
+        assert finding["schema_version"] == SCHEMA_VERSION
+        for key in ("detector", "kind", "severity", "message", "fn",
+                    "metadata", "provenance"):
+            assert key in finding
+        json.dumps(payload)  # whole payload must stay JSON-serializable
+
+    def test_version_shape(self):
+        major, minor = SCHEMA_VERSION.split(".")
+        assert major.isdigit() and minor.isdigit()

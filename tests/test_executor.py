@@ -1,0 +1,242 @@
+"""Tests for the parallel + incremental executor: wave scheduling,
+jobs-count determinism, and the content-addressed summary cache."""
+
+import json
+import os
+
+import pytest
+
+from conftest import compile_
+
+from repro import obs
+from repro.analysis.callgraph import (
+    build_call_graph, component_callees, scc_order, wave_partition,
+)
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import SummaryEngine
+from repro.analysis.executor import SummaryCache, body_fingerprint
+from repro.analysis.summaries import canonical, summary_fingerprint
+from repro.api import AnalysisSession, analyze
+from repro.corpus.inject import BUG_TEMPLATES
+
+
+CHAIN_SRC = """
+fn leaf(p: *const i32) -> *const i32 { p }
+fn mid(p: *const i32) -> *const i32 { leaf(p) }
+fn top(p: *const i32) -> *const i32 { mid(p) }
+fn main() { let x = 0; let p = top(&x as *const i32); unsafe { print(*p); } }
+"""
+
+
+def graph_of(src: str):
+    program = compile_(src).program
+    return program, build_call_graph(program)
+
+
+class TestWavePartition:
+    def test_chain_gets_one_wave_per_level(self):
+        program, graph = graph_of(CHAIN_SRC)
+        components = scc_order(program, graph)
+        waves = wave_partition(components, graph, program)
+        # leaf < mid < top < main must land in strictly increasing waves.
+        level = {}
+        for wave_index, wave in enumerate(waves):
+            for scc_id in wave:
+                for key in components[scc_id]:
+                    level[key] = wave_index
+        assert level["leaf"] < level["mid"] < level["top"] < level["main"]
+
+    def test_waves_have_no_internal_edges(self):
+        corpus_src = "\n".join(
+            BUG_TEMPLATES[name].render(f"w{i}")
+            for i, name in enumerate(sorted(BUG_TEMPLATES)))
+        program, graph = graph_of(corpus_src)
+        components = scc_order(program, graph)
+        waves = wave_partition(components, graph, program)
+        scc_of = {key: i for i, comp in enumerate(components)
+                  for key in comp}
+        for wave in waves:
+            wave_sccs = set(wave)
+            for scc_id in wave:
+                for key in components[scc_id]:
+                    for callee in graph.edges.get(key, ()):
+                        callee_scc = scc_of.get(callee)
+                        if callee_scc is not None and callee_scc != scc_id:
+                            assert callee_scc not in wave_sccs, \
+                                f"{key} -> {callee} within one wave"
+
+    def test_waves_cover_every_component_once(self):
+        program, graph = graph_of(CHAIN_SRC)
+        components = scc_order(program, graph)
+        waves = wave_partition(components, graph, program)
+        flat = [scc_id for wave in waves for scc_id in wave]
+        assert sorted(flat) == list(range(len(components)))
+
+
+# The determinism corpus: every race and UAF template in one program.
+_JOB_TEMPLATES = sorted(
+    name for name in BUG_TEMPLATES
+    if name.startswith(("race_", "uaf_")))
+JOBS_SRC = "\n".join(BUG_TEMPLATES[name].render(f"j{i}")
+                     for i, name in enumerate(_JOB_TEMPLATES))
+
+
+class TestJobsDeterminism:
+    def test_findings_identical_across_jobs(self):
+        payloads = []
+        for jobs in (1, 2, 4):
+            report = analyze(JOBS_SRC, name="jobs.rs",
+                             config=AnalysisConfig(jobs=jobs))
+            payloads.append(json.dumps(report.to_dict(), sort_keys=False))
+        assert payloads[0] == payloads[1] == payloads[2]
+        assert "race" in payloads[0] and "use-after-free" in payloads[0]
+
+    def test_session_fanout_preserves_input_order(self):
+        sources = [(f"m{i}.rs", BUG_TEMPLATES[name].render(f"s{i}"))
+                   for i, name in enumerate(_JOB_TEMPLATES)]
+        with AnalysisSession(AnalysisConfig(jobs=4)) as session:
+            parallel = session.analyze_sources(sources)
+        with AnalysisSession(AnalysisConfig(jobs=1)) as session:
+            serial = session.analyze_sources(sources)
+        assert [r.name for r in parallel] == [name for name, _ in sources]
+        assert [json.dumps(r.to_dict()) for r in parallel] == \
+               [json.dumps(r.to_dict()) for r in serial]
+
+
+class TestFingerprints:
+    def test_canonical_is_order_insensitive(self):
+        assert canonical(frozenset({"b", "a"})) == \
+            canonical(frozenset({"a", "b"}))
+        assert canonical({"y": 1, "x": 2}) == canonical({"x": 2, "y": 1})
+
+    def test_equal_summaries_fingerprint_identically(self):
+        program = compile_(CHAIN_SRC).program
+        one = SummaryEngine(program)
+        two = SummaryEngine(program)
+        for key in program.functions:
+            assert summary_fingerprint(one.summary(key)) == \
+                summary_fingerprint(two.summary(key))
+
+    def test_body_fingerprint_sees_span_moves(self):
+        src = "fn f(p: *const i32) -> *const i32 { p }"
+        a = compile_(src).program.functions["f"]
+        b = compile_("\n\n" + src).program.functions["f"]
+        assert body_fingerprint(a) != body_fingerprint(b)
+
+
+EDIT_BASE = """
+fn shared(p: *const i32) -> *const i32 { p }
+fn user_a(p: *const i32) -> *const i32 { shared(p) }
+fn user_b(p: *const i32) -> *const i32 { shared(p) }
+fn main() {
+    let x = 0;
+    let p = user_a(&x as *const i32);
+    let q = user_b(&x as *const i32);
+    unsafe { print(*p + *q); }
+}
+fn tail() -> i32 { 1 }
+"""
+# Editing ``tail`` (the last function: earlier spans don't shift) must
+# invalidate only its own component; with early cutoff, callers of an
+# edited function whose *summary* didn't change also stay cached.
+EDIT_TAIL = EDIT_BASE.replace("fn tail() -> i32 { 1 }",
+                              "fn tail() -> i32 { 2 }")
+
+
+class TestSummaryCache:
+    def test_cold_then_warm(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        with obs.collecting() as cold:
+            first = analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert cold.counters.get("analysis.cache.miss", 0) > 0
+        assert cold.counters.get("analysis.cache.store", 0) == \
+            cold.counters["analysis.cache.miss"]
+        assert cold.counters.get("analysis.cache.hit", 0) == 0
+
+        with obs.collecting() as warm:
+            second = analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert warm.counters.get("analysis.cache.miss", 0) == 0
+        assert warm.counters["analysis.cache.hit"] == \
+            cold.counters["analysis.cache.miss"]
+        assert warm.counters.get("analysis.executor.solved_functions",
+                                 0) == 0
+        assert warm.counters["analysis.executor.cached_functions"] > 0
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+
+    def test_single_function_edit_resolves_only_its_scc(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        analyze(EDIT_BASE, name="edit.rs", config=config)
+        with obs.collecting() as warm:
+            analyze(EDIT_TAIL, name="edit.rs", config=config)
+        # Only ``tail`` was edited; its summary is unchanged, so early
+        # cutoff keeps every other component (including main, which
+        # calls nothing edited) a cache hit.
+        assert warm.counters["analysis.cache.miss"] == 1
+        assert warm.counters["analysis.executor.solved_functions"] == 1
+        assert warm.counters["analysis.cache.hit"] >= 4
+
+    def test_edit_propagates_when_summary_changes(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        base = """
+fn gives(p: *const i32) -> *const i32 { ptr::null() }
+fn wraps(p: *const i32) -> *const i32 { gives(p) }
+"""
+        edited = base.replace("{ ptr::null() }", "{ p }")
+        analyze(base, name="prop.rs", config=config)
+        with obs.collecting() as warm:
+            analyze(edited, name="prop.rs", config=config)
+        # ``gives`` now returns its argument: its summary changed, so
+        # ``wraps`` (keyed on callee summary fingerprints) must re-solve.
+        assert warm.counters["analysis.cache.miss"] >= 2
+
+    def test_corrupted_entry_recomputes(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        first = analyze(EDIT_BASE, name="edit.rs", config=config)
+        entries = sorted(tmp_path.glob("*.summary.pkl"))
+        assert entries
+        for entry in entries:
+            entry.write_bytes(b"not a pickle")
+        with obs.collecting() as col:
+            second = analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert col.counters["analysis.cache.corrupt"] == len(entries)
+        assert col.counters.get("analysis.cache.hit", 0) == 0
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+
+    def test_wrong_payload_shape_recomputes(self, tmp_path):
+        cache = SummaryCache(str(tmp_path), limit=64)
+        path = cache._path("deadbeef")
+        import pickle
+        with open(path, "wb") as f:
+            pickle.dump(["not", "a", "summary", "dict"], f)
+        with obs.collecting() as col:
+            assert cache.get("deadbeef") is None
+        assert col.counters["analysis.cache.corrupt"] == 1
+        assert not os.path.exists(path)
+
+    def test_eviction_respects_limit(self, tmp_path):
+        cache = SummaryCache(str(tmp_path), limit=2)
+        program = compile_(CHAIN_SRC).program
+        engine = SummaryEngine(program)
+        summary = {"leaf": engine.summary("leaf")}
+        with obs.collecting() as col:
+            for i in range(5):
+                cache.put(f"key{i}", summary)
+                os.utime(cache._path(f"key{i}"), (i, i))
+        remaining = list(tmp_path.glob("*.summary.pkl"))
+        assert len(remaining) == 2
+        assert col.counters["analysis.cache.evict"] == 3
+
+    def test_no_cache_flag_disables_cache(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path), use_cache=False)
+        with obs.collecting() as col:
+            analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert "analysis.cache.miss" not in col.counters
+        assert not list(tmp_path.glob("*.summary.pkl"))
+
+
+class TestComponentCallees:
+    def test_external_callees_only(self):
+        program, graph = graph_of(CHAIN_SRC)
+        callees = component_callees(["mid"], graph, program)
+        assert callees == {"leaf"}
+        assert component_callees(["leaf"], graph, program) == set()
