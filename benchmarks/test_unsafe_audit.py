@@ -1,0 +1,122 @@
+"""Interior-unsafe audit benchmarks → ``BENCH_unsafe.json``.
+
+Three claims from the §5 unsafe-provenance design, measured on the
+evaluation corpus:
+
+* **Determinism** — the audit report is byte-identical at every worker
+  count (the provenance fixpoint and report ordering are
+  schedule-independent).
+* **Audit cost** — wall-clock for a cold whole-corpus audit, plus the
+  number of function summaries solved to produce it (the audit rides
+  the same interprocedural engine as the detectors, so its cost is the
+  summary fixpoint, not a second pass).
+* **Warm delta** — with a summary cache, a repeat audit re-solves no
+  summaries and is served entirely from cache, and still renders the
+  identical report.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from conftest import emit
+
+from repro import obs
+from repro.analysis.config import AnalysisConfig
+from repro.api import audit_unsafe
+from repro.corpus import generate_corpus
+
+BENCH_UNSAFE_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_unsafe.json"
+
+SEED = 0
+SCALE = 1
+JOBS_SWEEP = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(seed=SEED, scale=SCALE)
+
+
+def _audit(sources, config):
+    with obs.collecting() as collector:
+        start = time.perf_counter()
+        report = audit_unsafe(sources, config=config)
+        seconds = round(time.perf_counter() - start, 4)
+    return report, seconds, dict(collector.counters)
+
+
+def test_unsafe_audit_bench(corpus, tmp_path):
+    sources = [(f.name, f.text) for f in corpus.files]
+
+    # Cold sweep over worker counts: identical bytes everywhere.
+    timings = {}
+    payloads = {}
+    for jobs in JOBS_SWEEP:
+        report, seconds, _ = _audit(sources, AnalysisConfig(jobs=jobs))
+        timings[jobs] = seconds
+        payloads[jobs] = json.dumps(report.to_dict(), sort_keys=False)
+    for jobs in JOBS_SWEEP[1:]:
+        assert payloads[jobs] == payloads[1], \
+            f"audit differs between jobs=1 and jobs={jobs}"
+
+    # Cold vs warm against a summary cache.
+    config = AnalysisConfig(cache_dir=str(tmp_path))
+    cold_report, cold_seconds, cold = _audit(sources, config)
+    warm_report, warm_seconds, warm = _audit(sources, config)
+
+    solved_cold = cold.get("analysis.executor.solved_functions", 0)
+    solved_warm = warm.get("analysis.executor.solved_functions", 0)
+    assert solved_cold > 0
+    assert solved_warm == 0, "warm audit must re-solve nothing"
+    assert warm["analysis.cache.hit"] == cold["analysis.cache.miss"]
+    assert json.dumps(warm_report.to_dict()) == \
+        json.dumps(cold_report.to_dict())
+    assert json.dumps(cold_report.to_dict(), sort_keys=False) == payloads[1]
+
+    breakdown = cold_report.breakdown
+    assert cold_report.total == sum(breakdown.values())
+    assert cold_report.total > 0
+
+    cpu_count = os.cpu_count() or 1
+    payload = {
+        "schema_version": "1.0",
+        "host": {"cpu_count": cpu_count},
+        "corpus": {
+            "seed": SEED, "scale": SCALE,
+            "files": len(corpus.files), "loc": corpus.total_loc,
+        },
+        "audit": {
+            "seconds_by_jobs": {str(j): timings[j] for j in JOBS_SWEEP},
+            "report_identical_across_jobs": True,
+            "interior_unsafe_functions": cold_report.total,
+            "breakdown": breakdown,
+        },
+        "summaries": {
+            "solved_functions_cold": solved_cold,
+            "solved_functions_warm": solved_warm,
+            "cache": {
+                "cold_miss": cold.get("analysis.cache.miss", 0),
+                "cold_store": cold.get("analysis.cache.store", 0),
+                "warm_hit": warm.get("analysis.cache.hit", 0),
+            },
+            "seconds_cold": cold_seconds,
+            "seconds_warm": warm_seconds,
+            "warm_delta_seconds": round(cold_seconds - warm_seconds, 4),
+        },
+    }
+    BENCH_UNSAFE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    round_trip = json.loads(BENCH_UNSAFE_PATH.read_text())
+    assert round_trip["summaries"]["solved_functions_warm"] == 0
+
+    emit("interior-unsafe audit",
+         f"audit seconds by jobs: {payload['audit']['seconds_by_jobs']}"
+         f" (cpus: {cpu_count})\n"
+         f"interior-unsafe fns: {cold_report.total} — "
+         + ", ".join(f"{k}: {v}" for k, v in sorted(breakdown.items()))
+         + f"\ncold: {solved_cold} summaries solved in {cold_seconds}s; "
+           f"warm: 0 solved in {warm_seconds}s")

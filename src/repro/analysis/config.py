@@ -45,6 +45,10 @@ class AnalysisConfig:
       interpreter schedules.
     * ``emit_bounds_checks`` — compile-time switch for the §4.1
       perf-comparison build.
+    * ``audit_unsafe`` — enables the ``interior-unsafe-audit`` detector's
+      per-function classification findings (the §5 encapsulation report
+      behind ``minirust audit-unsafe``).  Off by default so a plain
+      ``check`` never mixes audit rows into bug findings.
     """
 
     interprocedural: bool = True
@@ -55,6 +59,7 @@ class AnalysisConfig:
     cache_limit: int = DEFAULT_CACHE_LIMIT
     seed: int = 0
     emit_bounds_checks: bool = True
+    audit_unsafe: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.jobs, int) or isinstance(self.jobs, bool) \

@@ -46,6 +46,7 @@ from repro.analysis.summaries import (
     opaque_lock, owned_value_args, term_arg_sources, translate_access_loc,
     translate_lock, value_chain,
 )
+from repro.analysis.unsafe_prop import compute_unsafe_provenance
 from repro.hir.builtins import BuiltinOp, FuncKind
 from repro.lang.types import TyKind
 from repro.mir.nodes import (
@@ -474,6 +475,10 @@ class SummaryEngine:
 
         shared = self._shared_accesses(body, pt, user_sites, acquires,
                                        guard_regions)
+        lock_orders = self._lock_orders(body, pt, user_sites, acquires,
+                                        guard_regions)
+        unsafe_prov = compute_unsafe_provenance(body, self._summaries,
+                                                user_sites)
 
         return FunctionSummary(
             key=key, returns=frozenset(returns),
@@ -481,7 +486,8 @@ class SummaryEngine:
             may_drop_args=may_drop, arg_escapes=escapes, locks=locks,
             locks_held_on_return=frozenset(held),
             acquires_any_lock=acquires, calls_unknown=calls_unknown,
-            shared_accesses=shared)
+            shared_accesses=shared, unsafe_provenance=unsafe_prov,
+            lock_orders=lock_orders)
 
     #: Translated access/lock projections longer than this are dropped —
     #: the bound that keeps recursive frames (whose translation prepends
@@ -582,6 +588,96 @@ class SummaryEngine:
                     shared.setdefault((loc_t, is_write, key_locks),
                                       ((callee, access), term.span))
         return shared
+
+    def _lock_orders(self, body: Body, pt: PointsTo, user_sites,
+                     acquires: bool, guard_regions) -> Dict:
+        """The caller-translatable lock-order component: ``(first,
+        second) → span`` pairs (4-tuple lock ids) where the call tree may
+        acquire ``second`` while holding ``first``.  Direct pairs come
+        from this body's guard regions; composed pairs translate a
+        callee's pairs through the call site — including through
+        points-to, so ``helper(&A, &B)`` with a helper that locks both
+        *arguments* yields the global ``(A, B)`` pair here."""
+        might_lock = acquires or any(
+            (cs := self._summaries.get(callee)) is not None
+            and cs.acquires_any_lock
+            for _bb, _term, callee, _sources in user_sites)
+        if not might_lock:
+            return {}
+
+        orders: Dict[Tuple[LockId, LockId], object] = {}
+
+        def add_pairs(firsts, seconds, span) -> None:
+            for a in sorted(firsts):
+                for b in sorted(seconds):
+                    if a[:3] != b[:3] and len(a[2]) <= self._MAX_PROJ \
+                            and len(b[2]) <= self._MAX_PROJ:
+                        orders.setdefault((a, b), span)
+
+        # Direct pairs: a later acquisition inside a held region.
+        for region in guard_regions():
+            if region.is_try:
+                continue
+            firsts = {(ident[0], ident[1], tuple(ident[2]), region.kind)
+                      for ident in region.lock_ids
+                      if ident[0] in ("arg", "static")}
+            if not firsts:
+                continue
+            for bb, term in body.iter_terminators():
+                if term.kind is not TerminatorKind.CALL \
+                        or term.func is None:
+                    continue
+                point = (bb, len(body.blocks[bb].statements))
+                if not region.covers(point):
+                    continue
+                seconds = set()
+                lock_kind = LOCK_ACQUIRE_OPS.get(term.func.builtin_op)
+                if lock_kind is not None and term.args \
+                        and term.args[0].place is not None:
+                    for ident in lock_identity(body, pt,
+                                               term.args[0].place.local):
+                        if ident[0] in ("arg", "static"):
+                            seconds.add((ident[0], ident[1],
+                                         tuple(ident[2]), lock_kind))
+                callee = self._callee_of(body, term)
+                if callee is not None and callee in self.program.functions:
+                    callee_summary = self._summaries.get(callee)
+                    if callee_summary is not None:
+                        sources = term_arg_sources(body, term)
+                        for lock in callee_summary.locks:
+                            seconds |= self._caller_order_ids(
+                                body, pt, term, lock, sources)
+                if seconds:
+                    add_pairs(firsts, seconds, term.span)
+
+        # Composed pairs from callee summaries.
+        for _bb, term, callee, sources in user_sites:
+            callee_summary = self._summaries.get(callee)
+            if callee_summary is None or not callee_summary.lock_orders:
+                continue
+            for first, second in callee_summary.lock_orders:
+                firsts = self._caller_order_ids(body, pt, term, first,
+                                                sources)
+                seconds = self._caller_order_ids(body, pt, term, second,
+                                                 sources)
+                if firsts and seconds:
+                    add_pairs(firsts, seconds, term.span)
+        return orders
+
+    def _caller_order_ids(self, body: Body, pt: PointsTo, term,
+                          lock: LockId, sources) -> Set[LockId]:
+        """All caller-frame names of one callee lock id: the argument
+        route (stays caller-translatable) plus the points-to route
+        (resolves a lock passed by reference to the static it names)."""
+        out: Set[LockId] = set()
+        translated = translate_lock(lock, sources)
+        if translated is not None:
+            out.add(translated)
+        if lock[0] == "arg":
+            for ident in caller_lock_ids(body, pt, term, lock):
+                if ident[0] == "static":
+                    out.add(("static", ident[1], tuple(ident[2]), lock[3]))
+        return out
 
     def _const_return(self, body: Body,
                       in_progress: FrozenSet[str]) -> Optional[int]:

@@ -21,7 +21,7 @@ call graph bottom-up; this module decides *how* that schedule runs:
   Corrupted or stale entries are dropped and recomputed, never trusted.
 
 Obs surface: ``analysis.wave`` spans (one per wave),
-``analysis.cache.{hit,miss,store,evict,corrupt}`` counters, and
+``analysis.cache.{hit,miss,store,evict,corrupt,stale}`` counters, and
 ``analysis.executor.{solved,cached}_functions`` totals — the numbers the
 incremental-rerun benchmarks and tests assert on.
 """
@@ -46,8 +46,15 @@ from repro.analysis.summaries import (
 from repro.mir.nodes import Body, Program
 
 #: Bump when the summary format or solve semantics change: stale cache
-#: entries from older formats must never be served.
-CACHE_FORMAT = 1
+#: entries from older formats must never be served.  The value feeds the
+#: component key *and* is stored inside each payload, so entries written
+#: before the payload was versioned (format 1 stored a bare summary
+#: dict) are recognised as stale and evicted rather than unpickled into
+#: a summary missing the newer fields.
+#:
+#: v2: ``FunctionSummary`` gained ``unsafe_provenance`` + ``lock_orders``
+#: and payloads became ``{"format": N, "summaries": {...}}``.
+CACHE_FORMAT = 2
 
 
 def body_fingerprint(body: Body) -> str:
@@ -91,20 +98,33 @@ class SummaryCache:
             obs.count("analysis.cache.corrupt")
             self._remove(path)
             return None
-        if not isinstance(payload, dict) or not all(
-                isinstance(k, str) and isinstance(v, FunctionSummary)
-                for k, v in payload.items()):
+        if not isinstance(payload, dict):
             obs.count("analysis.cache.corrupt")
             self._remove(path)
             return None
-        return payload
+        if payload.get("format") != CACHE_FORMAT:
+            # A pre-versioning bare summary dict, or an entry written by
+            # a different format: structurally valid but semantically
+            # stale.  Served summaries would silently lack newer fields.
+            obs.count("analysis.cache.stale")
+            self._remove(path)
+            return None
+        summaries = payload.get("summaries")
+        if not isinstance(summaries, dict) or not all(
+                isinstance(k, str) and isinstance(v, FunctionSummary)
+                for k, v in summaries.items()):
+            obs.count("analysis.cache.corrupt")
+            self._remove(path)
+            return None
+        return summaries
 
     def put(self, key: str, summaries: Dict[str, FunctionSummary]) -> None:
         path = self._path(key)
+        payload = {"format": CACHE_FORMAT, "summaries": summaries}
         try:
             fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             with os.fdopen(fd, "wb") as f:
-                pickle.dump(summaries, f, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except OSError:
             return        # a full or read-only cache disables itself

@@ -32,6 +32,17 @@ Fields and their join direction:
 * ``calls_unknown`` — does the call tree reach FFI or an unresolved
   function?  The soundness fallback bit: facts about such functions are
   lower-bounds only.
+* ``unsafe_provenance`` — the unsafe-provenance component (paper §5.3):
+  which arguments may reach an unsafe deref/index/offset unguarded, which
+  are sanitised by a dominating check, which are delegated to unsafe
+  callees, and whether the return value carries a raw pointer born in an
+  unsafe region.  See :mod:`repro.analysis.unsafe_prop`.
+* ``lock_orders`` — ordered lock-acquisition pairs observed in the call
+  tree, in caller-translatable 4-tuple ids: ``(first, second) → span``
+  means the function may acquire ``second`` while holding ``first``.
+  Composing these through call sites is what lets the lock-order detector
+  see an ABBA cycle whose two acquisitions live in a helper taking both
+  locks as arguments.
 * ``shared_accesses`` — the "accesses-shared-under-locks" component: every
   read/write the call tree performs through a pointer to potentially
   thread-shared data, keyed by :data:`AccessKey` ``(location, is_write,
@@ -58,7 +69,9 @@ from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.lifetime import resolve_ref_chain
+from repro.analysis.unsafe_prop import UnsafeProvenance
 from repro.hir.builtins import BuiltinOp
+from repro.lang.source import Span
 from repro.mir.nodes import Body, RvalueKind, StatementKind, TerminatorKind
 
 #: ``(kind_of_id, payload, projection, lock_kind)``.
@@ -89,6 +102,12 @@ class FunctionSummary:
     calls_unknown: bool = False
     #: AccessKey → (hop or None, span) — see the module docstring.
     shared_accesses: Dict[AccessKey, Tuple] = field(default_factory=dict)
+    #: The §5.3 unsafe-provenance component (see the module docstring).
+    unsafe_provenance: UnsafeProvenance = \
+        field(default_factory=UnsafeProvenance)
+    #: (first lock, second lock) → span of the second acquisition.
+    lock_orders: Dict[Tuple[LockId, LockId], Span] = \
+        field(default_factory=dict)
 
     def drops_arg(self, position: int) -> bool:
         return position in self.may_drop_args

@@ -40,7 +40,7 @@ from repro.driver import CompiledProgram, compile_source
 
 __all__ = [
     "AnalysisConfig", "AnalysisReport", "AnalysisSession", "SCHEMA_VERSION",
-    "analyze", "detector_catalog",
+    "UnsafeAuditReport", "analyze", "audit_unsafe", "detector_catalog",
 ]
 
 SourceOrPath = Union[str, "os.PathLike[str]"]
@@ -249,6 +249,21 @@ class AnalysisSession:
                                       config=self.config))
         return out
 
+    def audit_unsafe(self, named_sources: Sequence[Tuple[str, str]]
+                     ) -> "UnsafeAuditReport":
+        """Interior-unsafe encapsulation audit (§5) over ``(name, text)``
+        pairs, reusing this session's pool and cache.  The session's
+        detector selection is overridden with the audit detector for the
+        duration of the call."""
+        audit_cfg = _audit_config(self.config)
+        original = self.config
+        self.config = audit_cfg
+        try:
+            reports = self.analyze_sources(list(named_sources))
+        finally:
+            self.config = original
+        return _build_audit_report(reports, audit_cfg)
+
     def analyze_files(self, paths: Iterable[SourceOrPath], *,
                       detectors=None) -> List[AnalysisReport]:
         """Read and analyze many files (order-preserving, parallel)."""
@@ -271,3 +286,96 @@ def analyze(source_or_path: SourceOrPath, *, detectors=None,
     with AnalysisSession(config) as session:
         return session.analyze(source_or_path, detectors=detectors,
                                name=name)
+
+
+# ---------------------------------------------------------------------------
+# Interior-unsafe encapsulation audit (the §5 study as an entry point)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class UnsafeAuditReport:
+    """The §5 interior-unsafe encapsulation audit over many programs.
+
+    ``rows`` holds one entry per interior-unsafe function — its file,
+    key, checked / unchecked / caller-delegated classification, and the
+    provenance detail the audit detector recorded.  ``breakdown`` is the
+    paper-style aggregate.  Row order is ``(file, fn)``-sorted, so the
+    rendered table and JSON payload are byte-identical regardless of
+    worker count or cache temperature.
+    """
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+
+    @property
+    def breakdown(self) -> Dict[str, int]:
+        out = {"checked": 0, "unchecked": 0, "caller-delegated": 0}
+        for row in self.rows:
+            out[row["classification"]] = out.get(row["classification"], 0) + 1
+        return out
+
+    @property
+    def total(self) -> int:
+        return len(self.rows)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "total": self.total,
+            "breakdown": self.breakdown,
+            "functions": self.rows,
+        }
+
+    def render(self) -> str:
+        lines = [f"interior-unsafe functions: {self.total}"]
+        breakdown = self.breakdown
+        for label in ("checked", "unchecked", "caller-delegated"):
+            count = breakdown[label]
+            pct = (100.0 * count / self.total) if self.total else 0.0
+            lines.append(f"  {label:<18} {count:>5}  ({pct:5.1f}%)")
+        if self.rows:
+            width = max(len(str(row["fn"])) for row in self.rows)
+            lines.append("")
+            lines.append(f"{'function':<{width}}  {'class':<16} "
+                         f"{'sites':>5}  file")
+            for row in self.rows:
+                lines.append(
+                    f"{row['fn']:<{width}}  {row['classification']:<16} "
+                    f"{row['unsafe_sites']:>5}  {row['file']}")
+        return "\n".join(lines)
+
+
+def _build_audit_report(reports: List[AnalysisReport],
+                        config: AnalysisConfig) -> UnsafeAuditReport:
+    rows: List[Dict[str, object]] = []
+    for report in reports:
+        for finding in report.findings:
+            if finding.detector != "interior-unsafe-audit":
+                continue
+            row: Dict[str, object] = {"file": report.name,
+                                      "fn": finding.fn_key}
+            row.update(finding.metadata)
+            rows.append(row)
+    rows.sort(key=lambda r: (str(r["file"]), str(r["fn"])))
+    return UnsafeAuditReport(rows=rows, config=config)
+
+
+def _audit_config(config: Optional[AnalysisConfig]) -> AnalysisConfig:
+    return (config or AnalysisConfig()).with_(
+        audit_unsafe=True, detectors=("interior-unsafe-audit",))
+
+
+def audit_unsafe(named_sources: Sequence[Tuple[str, str]], *,
+                 config: Optional[AnalysisConfig] = None
+                 ) -> UnsafeAuditReport:
+    """Run the interior-unsafe encapsulation audit over ``(name, text)``
+    pairs, regenerating the paper's §5 checked/unchecked breakdown.
+
+    ``config`` carries the execution knobs (``jobs``, ``cache_dir``, …);
+    its detector selection is overridden with the audit detector and
+    ``audit_unsafe=True``.  Output is deterministic at any worker count.
+    """
+    audit_cfg = _audit_config(config)
+    with AnalysisSession(audit_cfg) as session:
+        reports = session.analyze_sources(list(named_sources))
+    return _build_audit_report(reports, audit_cfg)

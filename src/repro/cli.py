@@ -10,6 +10,7 @@ Subcommands::
     minirust run FILE [--seed N] [--races]     interpret (Miri-like)
     minirust mir FILE [--fn NAME]              dump MIR
     minirust scan FILE...                      §4 unsafe-usage scan
+    minirust audit-unsafe FILE...|--corpus     §5 interior-unsafe audit
     minirust tables [--table N|all]            regenerate study tables
     minirust corpus [--scale N] [--seed N]     corpus + detector evaluation
     minirust stats FILE [--json]               full-pipeline obs dump
@@ -212,6 +213,36 @@ def _cmd_scan(args) -> int:
     return 0
 
 
+def _cmd_audit_unsafe(args) -> int:
+    """§5 interior-unsafe encapsulation audit: classify every
+    interior-unsafe function as checked / unchecked / caller-delegated."""
+    from repro.api import audit_unsafe
+    if bool(args.files) == bool(args.corpus):
+        print("usage: minirust audit-unsafe FILE... (or --corpus)",
+              file=sys.stderr)
+        return 2
+    if args.corpus:
+        from repro.corpus import generate_corpus
+        corpus = generate_corpus(seed=args.seed, scale=args.scale)
+        named = [(f.name, f.text) for f in corpus.files]
+    else:
+        named = []
+        for path in args.files:
+            with open(path, "r", encoding="utf-8") as f:
+                named.append((path, f.read()))
+    try:
+        config = _analysis_config(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result = audit_unsafe(named, config=config)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from repro.study import tables as t
     which = args.table
@@ -353,6 +384,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("scan", help="unsafe-usage scan")
     p.add_argument("files", nargs="+")
     p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser("audit-unsafe",
+                       help="classify interior-unsafe functions as "
+                            "checked/unchecked/caller-delegated (§5)")
+    p.add_argument("files", nargs="*", default=[], metavar="FILE")
+    p.add_argument("--corpus", action="store_true",
+                   help="audit the generated corpus instead of files")
+    p.add_argument("--scale", type=int, default=1,
+                   help="corpus scale (with --corpus)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="corpus seed (with --corpus)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the schema-versioned audit payload as JSON")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (output identical at any N)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR")
+    p.add_argument("--no-cache", action="store_true")
+    p.set_defaults(func=_cmd_audit_unsafe)
 
     p = sub.add_parser("tables", help="regenerate the study tables")
     p.add_argument("--table", default="all", choices=["1", "2", "3", "4",

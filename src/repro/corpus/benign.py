@@ -78,6 +78,27 @@ fn use_rawbuf_{u}() -> u8 {{
 """
 
 
+def _checked_interior_unsafe(u: str) -> str:
+    # The no-bug mirror of `unchecked_index_passthrough`: the same raw
+    # pointer arithmetic behind the same public wrapper shape, but the
+    # helper bounds-checks the index before the unsafe region, so
+    # `unchecked-unsafe-input` must stay silent (§4.3 good practice).
+    return f"""
+struct Window{u} {{ base: *mut u8, len: usize }}
+impl Window{u} {{
+    fn read_raw(&self, index: usize) -> u8 {{
+        if index >= self.len {{
+            return 0;
+        }}
+        unsafe {{ *self.base.add(index) }}
+    }}
+    pub fn read_{u}(&self, index: usize) -> u8 {{
+        self.read_raw(index)
+    }}
+}}
+"""
+
+
 def _checked_ffi(u: str) -> str:
     return f"""
 fn checked_call_{u}(input: Option<i32>) -> i32 {{
@@ -241,6 +262,7 @@ BENIGN_TEMPLATES: Dict[str, Callable[[str], str]] = {
     "safe_counter": _safe_counter,
     "proper_locking": _proper_locking,
     "good_interior_unsafe": _good_interior_unsafe,
+    "checked_interior_unsafe": _checked_interior_unsafe,
     "checked_ffi": _checked_ffi,
     "worker_threads": _worker_threads,
     "locked_shared": _locked_shared,

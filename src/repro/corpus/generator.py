@@ -41,7 +41,7 @@ APP_PROFILES: Dict[str, AppProfile] = {
         "overflow_unchecked": 2, "double_lock_if": 1,
         "channel_no_sender": 1, "sync_unsync_write": 1, "null_deref": 1,
         "race_unsync_counter": 1, "race_arc_interior_mut": 1,
-        "race_lock_wrong_mutex": 1,
+        "race_lock_wrong_mutex": 1, "unsafe_leak_raw_return": 1,
     }),
     "tock_like": AppProfile("tock_like", benign_modules=5, bug_mix={
         "overflow_unchecked": 1, "uninit_read": 1,
@@ -64,7 +64,8 @@ APP_PROFILES: Dict[str, AppProfile] = {
     "libraries_like": AppProfile("libraries_like", benign_modules=5,
                                  bug_mix={
         "uaf_escape_ffi": 1, "sync_unsync_write": 1, "atomic_check_act": 1,
-        "condvar_no_notify": 1,
+        "condvar_no_notify": 1, "unsafe_leak_raw_return": 1,
+        "unchecked_index_passthrough": 1,
     }),
 }
 

@@ -27,6 +27,8 @@ sync_unsync_write      Figure 4 / Suggestion 8                sync-unsync-write
 race_unsync_counter    §5.3 shared-memory races               data-race
 race_arc_interior_mut  §5.3 Arc + interior mutability         data-race
 race_lock_wrong_mutex  §6.1 wrong-lock protection             data-race
+unsafe_leak_raw_return §5.3 raw pointer escapes safe API      unsafe-leak
+unchecked_index_passthrough  §5.3 unvalidated interior input  unchecked-unsafe-input
 =====================  =====================================  ============
 """
 
@@ -371,6 +373,37 @@ fn bug_{u}() {{
 """
 
 
+def _unsafe_leak_raw_return(u: str) -> str:
+    # §5.3: an interior-unsafe helper mints a raw pointer and a safe
+    # *public* wrapper hands it straight to callers — the unsafe
+    # obligation escapes its encapsulation boundary with no contract.
+    return f"""
+fn make_{u}() -> *mut u8 {{
+    unsafe {{ alloc(16) }}
+}}
+pub fn bug_{u}() -> *mut u8 {{
+    make_{u}()
+}}
+"""
+
+
+def _unchecked_index_passthrough(u: str) -> str:
+    # §5.3 improper input validation, split interprocedurally: the public
+    # wrapper forwards a caller-controlled index into a private helper
+    # whose unsafe pointer arithmetic never bounds-checks it.
+    return f"""
+struct Table{u} {{ data: *mut u8, len: usize }}
+impl Table{u} {{
+    fn get_raw(&self, index: usize) -> u8 {{
+        unsafe {{ *self.data.add(index) }}
+    }}
+    pub fn bug_{u}(&self, index: usize) -> u8 {{
+        self.get_raw(index)
+    }}
+}}
+"""
+
+
 def _recv_holding_lock(u: str) -> str:
     return f"""
 static STATE_{u}: Mutex<i32> = Mutex::new(0);
@@ -437,6 +470,12 @@ BUG_TEMPLATES: Dict[str, BugTemplate] = {
                                          BugKind.NON_BLOCKING, "data-race",
                                          _race_lock_wrong_mutex,
                                          dynamic_entry=True),
+    "unsafe_leak_raw_return": BugTemplate("unsafe_leak_raw_return",
+                                          BugKind.MEMORY, "unsafe-leak",
+                                          _unsafe_leak_raw_return),
+    "unchecked_index_passthrough": BugTemplate(
+        "unchecked_index_passthrough", BugKind.MEMORY,
+        "unchecked-unsafe-input", _unchecked_index_passthrough),
 }
 
 MEMORY_TEMPLATES = [t for t in BUG_TEMPLATES.values()

@@ -25,8 +25,14 @@ from repro.mir.nodes import Body, TerminatorKind
 
 
 def _global_ids(ids: FrozenSet) -> Set[Tuple]:
-    """Keep only program-wide lock identities (statics / heap sites /
-    argument positions do not qualify; args are caller-relative)."""
+    """Keep only program-wide lock identities (statics / heap sites).
+
+    Argument positions do not qualify *here* — args are caller-relative —
+    but they are not lost: the summary engine records arg-relative
+    acquisition orders in ``FunctionSummary.lock_orders`` and translates
+    them into each caller's frame, so an ABBA pair split across a helper
+    that receives both locks as parameters still reaches the graph once
+    the ids resolve to statics (see ``check_program``)."""
     return {i for i in ids if i[0] in ("static", "heap")}
 
 
@@ -73,6 +79,19 @@ class LockOrderDetector(Detector):
                                 continue
                             graph.add_edge(first, second)
                             edge_spans[(first, second)] = (body.key, term.span)
+
+            # Summary-carried orders: acquisition pairs observed inside
+            # callees with argument-relative lock identities, translated
+            # into this body's frame by the engine.  Only pairs that
+            # resolved all the way to global ids enter the graph.
+            for (a, b), span in sorted(
+                    ctx.summary(body.key).lock_orders.items(),
+                    key=lambda item: (str(item[0]), item[1].lo)):
+                first, second = a[:3], b[:3]
+                if first == second or a[0] != "static" or b[0] != "static":
+                    continue
+                graph.add_edge(first, second)
+                edge_spans.setdefault((first, second), (body.key, span))
 
         findings: List[Finding] = []
         seen_cycles = set()

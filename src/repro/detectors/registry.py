@@ -20,6 +20,10 @@ from repro.detectors.memory_misc import (
     UninitReadDetector,
 )
 from repro.detectors.report import Report
+from repro.detectors.unsafe_prop import (
+    InteriorUnsafeAuditDetector, UncheckedUnsafeInputDetector,
+    UnsafeLeakDetector,
+)
 from repro.detectors.use_after_free import (
     DanglingReturnDetector, UseAfterFreeDetector,
 )
@@ -42,12 +46,16 @@ ALL_DETECTORS: List[Type[Detector]] = [
     SyncUnsyncWriteDetector,
     AtomicityViolationDetector,
     DataRaceDetector,
+    UnsafeLeakDetector,
+    UncheckedUnsafeInputDetector,
+    InteriorUnsafeAuditDetector,
 ]
 
 MEMORY_DETECTORS = [UseAfterFreeDetector, DanglingReturnDetector,
                     DoubleFreeDetector,
                     InvalidFreeDetector, NullDerefDetector,
-                    UninitReadDetector, BufferOverflowDetector]
+                    UninitReadDetector, BufferOverflowDetector,
+                    UnsafeLeakDetector, UncheckedUnsafeInputDetector]
 CONCURRENCY_DETECTORS = [DoubleLockDetector, LockOrderDetector,
                          CondvarDetector, ChannelDetector,
                          OnceRecursionDetector, SyncUnsyncWriteDetector,

@@ -31,6 +31,7 @@ class FnInfo:
     params: List[Tuple[str, Ty, bool]] = field(default_factory=list)
     ret_ty: Ty = UNKNOWN
     is_unsafe: bool = False
+    is_pub: bool = False
     is_method: bool = False
     self_ty: Optional[Ty] = None
     self_mode: Optional[str] = None    # "value" | "ref" | "ref_mut" | None
@@ -253,7 +254,7 @@ def _register_fn(table: ItemTable, fn: ast.FnDef, prefix: Optional[str],
                            p.mutability.is_mut))
     ret_ty = table.lower_ty(fn.ret_ty, self_ty, gen) if fn.ret_ty else Ty.unit()
     info = FnInfo(key=key, name=fn.name, ast_fn=fn, params=params,
-                  ret_ty=ret_ty, is_unsafe=fn.is_unsafe,
+                  ret_ty=ret_ty, is_unsafe=fn.is_unsafe, is_pub=fn.is_pub,
                   is_method=self_mode is not None, self_ty=self_ty,
                   self_mode=self_mode, impl_of=prefix if self_ty else None,
                   trait_name=trait_name, span=fn.span, generics=list(gen))

@@ -102,6 +102,11 @@ class BodyBuilder:
         self.scopes: List[_Scope] = []
         self.loop_stack: List[_LoopCtx] = []
         self.unsafe_depth = 1 if is_unsafe_fn else 0
+        # Spans of the unsafe regions currently open; the top of the stack
+        # is what statements/terminators record as their enclosing region.
+        self.unsafe_span_stack: List[Span] = [span] if is_unsafe_fn else []
+        if fn_info is not None:
+            self.body.is_pub = getattr(fn_info, "is_pub", False)
         self.closure_counter = 0
         self._static_locals: Dict[str, int] = {}
         # Temps whose value was moved out; their scope-exit Drop is elided
@@ -146,6 +151,8 @@ class BodyBuilder:
     def emit(self, stmt: Statement) -> None:
         if self.current is not None:
             stmt.in_unsafe = self.unsafe_depth > 0
+            if stmt.in_unsafe and self.unsafe_span_stack:
+                stmt.unsafe_span = self.unsafe_span_stack[-1]
             if stmt.rvalue is not None:
                 self._note_moves(stmt.rvalue.operands)
             self.current.statements.append(stmt)
@@ -163,6 +170,8 @@ class BodyBuilder:
     def terminate(self, term: Terminator) -> None:
         if self.current is not None and self.current.terminator is None:
             term.in_unsafe = self.unsafe_depth > 0
+            if term.in_unsafe and self.unsafe_span_stack:
+                term.unsafe_span = self.unsafe_span_stack[-1]
             self._note_moves(term.args)
             if term.discr is not None:
                 self._note_moves([term.discr])
@@ -283,6 +292,7 @@ class BodyBuilder:
         """Lower a block; returns the tail operand (or assigns it to dest)."""
         if block.is_unsafe:
             self.unsafe_depth += 1
+            self.unsafe_span_stack.append(block.span)
             self.body.has_unsafe_block = True
             self.pb.record_unsafe_block(self.body.key, block.span)
         self.push_scope()
@@ -314,6 +324,7 @@ class BodyBuilder:
                     self.var_stack.pop()
             if block.is_unsafe:
                 self.unsafe_depth -= 1
+                self.unsafe_span_stack.pop()
 
     def _materialize_tail(self, operand: Optional[Operand],
                           span: Span) -> Optional[Operand]:
@@ -861,6 +872,7 @@ class BodyBuilder:
             return inner.deref()
         if isinstance(expr, ast.Block) and expr.is_unsafe:
             self.unsafe_depth += 1
+            self.unsafe_span_stack.append(expr.span)
             self.body.has_unsafe_block = True
             self.pb.record_unsafe_block(self.body.key, expr.span)
             try:
@@ -870,6 +882,7 @@ class BodyBuilder:
                 return self._operand_place(operand, span)
             finally:
                 self.unsafe_depth -= 1
+                self.unsafe_span_stack.pop()
         operand = self.lower_expr(expr)
         return self._operand_place(operand, span)
 
@@ -1698,7 +1711,11 @@ class BodyBuilder:
         closure_builder = BodyBuilder(
             self.pb, key, None, body_block, params, UNKNOWN,
             is_unsafe_fn=False, span=span, captures=captures)
-        closure_builder.unsafe_depth += (1 if self.unsafe_depth > 0 else 0)
+        if self.unsafe_depth > 0:
+            closure_builder.unsafe_depth += 1
+            if self.unsafe_span_stack:
+                closure_builder.unsafe_span_stack.append(
+                    self.unsafe_span_stack[-1])
         self.pb.program.functions[key] = closure_builder.build()
 
         ty = Ty.closure(key)

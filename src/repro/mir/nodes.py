@@ -321,6 +321,7 @@ class Statement:
     local: Optional[int] = None            # STORAGE_LIVE / STORAGE_DEAD
     variant_index: Optional[int] = None    # SET_DISCRIMINANT
     in_unsafe: bool = False                # lowered inside an unsafe region
+    unsafe_span: Optional[Span] = None     # span of the enclosing unsafe region
 
     def __str__(self) -> str:
         if self.kind is StatementKind.ASSIGN:
@@ -368,6 +369,7 @@ class Terminator:
     expected: bool = True
     msg: str = ""
     in_unsafe: bool = False
+    unsafe_span: Optional[Span] = None     # span of the enclosing unsafe region
 
     def successors(self) -> List[int]:
         if self.kind is TerminatorKind.GOTO:
@@ -438,6 +440,7 @@ class Body:
     span: Span = Span.DUMMY
     is_unsafe_fn: bool = False
     has_unsafe_block: bool = False
+    is_pub: bool = False
     self_ty: Optional[Ty] = None
     self_mode: Optional[str] = None
     ret_ty: Ty = UNKNOWN

@@ -81,6 +81,23 @@ class TestDetectorEvaluation:
         assert all(len(row) == 5 for row in rows)
         assert rows == sorted(rows)
 
+    def test_unsafe_encapsulation_templates_recalled(self, result):
+        # PR 5 templates: both unsafe-leak injections and the
+        # interprocedural unchecked-input passthrough, with zero noise.
+        leak = result.scores["unsafe-leak"]
+        assert (leak.injected, leak.found, leak.false_positives) == (2, 2, 0)
+        unchecked = result.scores["unchecked-unsafe-input"]
+        assert (unchecked.injected, unchecked.found,
+                unchecked.false_positives) == (1, 1, 0)
+
+    def test_benign_checked_interior_unsafe_is_silent(self):
+        # The bounds-checked mirror of unchecked_index_passthrough must
+        # produce no findings from any detector.
+        from repro.api import analyze
+        from repro.corpus.benign import BENIGN_TEMPLATES
+        report = analyze(BENIGN_TEMPLATES["checked_interior_unsafe"]("t0"))
+        assert not report.findings
+
 
 class TestUnsafeScan:
     SRC = """

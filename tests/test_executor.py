@@ -226,6 +226,62 @@ fn wraps(p: *const i32) -> *const i32 { gives(p) }
         assert len(remaining) == 2
         assert col.counters["analysis.cache.evict"] == 3
 
+    def test_legacy_bare_dict_payload_is_stale(self, tmp_path):
+        # Format-1 entries stored a bare {key: FunctionSummary} dict.
+        # Serving one now would hand out summaries missing the newer
+        # fields, so it must be treated as stale — evicted and
+        # recomputed, with the dedicated counter (not `corrupt`).
+        import pickle
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        first = analyze(EDIT_BASE, name="edit.rs", config=config)
+        entries = sorted(tmp_path.glob("*.summary.pkl"))
+        assert entries
+        for entry in entries:
+            payload = pickle.loads(entry.read_bytes())
+            entry.write_bytes(pickle.dumps(payload["summaries"]))
+        with obs.collecting() as col:
+            second = analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert col.counters["analysis.cache.stale"] == len(entries)
+        assert col.counters.get("analysis.cache.hit", 0) == 0
+        assert col.counters.get("analysis.cache.corrupt", 0) == 0
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+        # The refreshed entries are versioned and serve warm again.
+        with obs.collecting() as warm:
+            analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert warm.counters.get("analysis.cache.stale", 0) == 0
+        assert warm.counters["analysis.cache.hit"] == len(entries)
+
+    def test_other_format_payload_is_stale(self, tmp_path):
+        import pickle
+        cache = SummaryCache(str(tmp_path), limit=64)
+        path = cache._path("cafe")
+        with open(path, "wb") as f:
+            pickle.dump({"format": 999, "summaries": {}}, f)
+        with obs.collecting() as col:
+            assert cache.get("cafe") is None
+        assert col.counters["analysis.cache.stale"] == 1
+        assert not os.path.exists(path)
+
+    def test_stale_and_corrupt_mix_roundtrips(self, tmp_path):
+        # Half the entries garbage, half legacy-shaped: one warm run
+        # heals the cache and reproduces identical findings.
+        import pickle
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        first = analyze(EDIT_BASE, name="edit.rs", config=config)
+        entries = sorted(tmp_path.glob("*.summary.pkl"))
+        assert len(entries) >= 2
+        for i, entry in enumerate(entries):
+            if i % 2 == 0:
+                entry.write_bytes(b"\x00truncated garbage")
+            else:
+                payload = pickle.loads(entry.read_bytes())
+                entry.write_bytes(pickle.dumps(payload["summaries"]))
+        with obs.collecting() as col:
+            second = analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert col.counters.get("analysis.cache.corrupt", 0) + \
+            col.counters.get("analysis.cache.stale", 0) == len(entries)
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+
     def test_no_cache_flag_disables_cache(self, tmp_path):
         config = AnalysisConfig(cache_dir=str(tmp_path), use_cache=False)
         with obs.collecting() as col:
