@@ -156,19 +156,50 @@ BENCH_OBS_PATH = pathlib.Path(__file__).resolve().parent.parent / \
     "BENCH_obs.json"
 
 
+def _full_pipeline():
+    compiled = compile_source(CHECKED_SUM, name="bench://checked_sum")
+    report = run_all_detectors(compiled)
+    interp = Interpreter(compiled.program,
+                         schedule=ScheduleConfig(max_steps=10_000_000))
+    return report, interp.run()
+
+
 def test_obs_trajectory_artifact():
     """Run the whole pipeline (compile → detectors → interpret) under the
     obs collector and write ``BENCH_obs.json`` — the per-phase timing
-    trajectory compared between PRs (see EXPERIMENTS.md)."""
+    trajectory compared between PRs (see EXPERIMENTS.md).
+
+    The artifact also records what observation itself costs: the same
+    pipeline timed with *no* collector installed (the tier-1 fast path)
+    next to the collected run, so a PR that bloats the instrumentation
+    fast path shows up in bench-diff as a rising overhead fraction.
+    """
+    from time import perf_counter
+
+    assert obs.get_collector() is None
+    started = perf_counter()
+    _full_pipeline()
+    no_collector_wall = perf_counter() - started
+
+    started = perf_counter()
     with obs.collecting("bench-obs") as collector:
-        compiled = compile_source(CHECKED_SUM, name="bench://checked_sum")
-        report = run_all_detectors(compiled)
-        interp = Interpreter(compiled.program,
-                             schedule=ScheduleConfig(max_steps=10_000_000))
-        result = interp.run()
+        report, result = _full_pipeline()
+    with_collector_wall = perf_counter() - started
     assert result.ok, result.error
 
     payload = obs.write_json(collector, str(BENCH_OBS_PATH))
+    payload["overhead"] = {
+        "no_collector_wall_s": no_collector_wall,
+        "with_collector_wall_s": with_collector_wall,
+        # (with - without) / without; noisy on shared hosts, so the
+        # assertion is existence/shape only — bench-diff watches trends.
+        "collector_overhead_fraction":
+            (with_collector_wall - no_collector_wall) / no_collector_wall
+            if no_collector_wall > 0 else 0.0,
+    }
+    BENCH_OBS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert payload["overhead"]["no_collector_wall_s"] > 0.0
+    assert payload["overhead"]["with_collector_wall_s"] > 0.0
     phases = payload["phases"]
     # The artifact must carry every front-end phase, the detector pass,
     # and the interpreter — the floors future perf PRs optimise against.

@@ -267,7 +267,18 @@ class SummaryEngine:
         unit of work the executor fans out: it only touches the member
         bodies and callee summaries, so a worker process can run it
         against a skeleton program.
+
+        Each solve records an ``analysis.scc`` span (head function,
+        component size, wall time, iterations) — the per-unit cost
+        attribution behind ``minirust stats --top`` and the flamegraph.
         """
+        with obs.span("analysis.scc", head=component[0],
+                      functions=len(component)) as scc_span:
+            iterations = self._component_worklist(component)
+            scc_span.set(iterations=iterations)
+        return iterations
+
+    def _component_worklist(self, component: List[str]) -> int:
         program = self.program
         # Cyclicity is decided from the member bodies alone (not the call
         # graph) so worker processes can solve against a skeleton program

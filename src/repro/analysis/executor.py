@@ -20,10 +20,15 @@ call graph bottom-up; this module decides *how* that schedule runs:
   own component, and its callers only when its summary actually changed.
   Corrupted or stale entries are dropped and recomputed, never trusted.
 
-Obs surface: ``analysis.wave`` spans (one per wave),
-``analysis.cache.{hit,miss,store,evict,corrupt,stale}`` counters, and
-``analysis.executor.{solved,cached}_functions`` totals — the numbers the
-incremental-rerun benchmarks and tests assert on.
+Obs surface: ``analysis.wave`` spans (one per wave) with the workers'
+``analysis.scc`` solve spans folded back underneath (pid/tid-tagged, so
+``--trace-out`` renders worker timelines side by side),
+``analysis.cache.{hit,miss,store,evict,corrupt,stale}`` counters,
+``analysis.executor.{solved,cached}_functions`` totals, per-task
+``executor.pickle_{bytes,seconds}`` and per-entry
+``cache.{read_bytes,deserialize_seconds}`` costs — the numbers the
+incremental-rerun benchmarks, the regression observatory
+(``minirust bench-diff``), and the tests assert on.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ import os
 import pickle
 import tempfile
 import warnings
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
@@ -88,8 +94,10 @@ class SummaryCache:
     def get(self, key: str) -> Optional[Dict[str, FunctionSummary]]:
         path = self._path(key)
         try:
+            started = perf_counter()
             with open(path, "rb") as f:
-                payload = pickle.load(f)
+                blob = f.read()
+            payload = pickle.loads(blob)
         except FileNotFoundError:
             return None
         except Exception:
@@ -98,6 +106,13 @@ class SummaryCache:
             obs.count("analysis.cache.corrupt")
             self._remove(path)
             return None
+        # Per-entry cost of serving warm: the numbers that decide
+        # whether the cache profits (ROADMAP: warm is currently *slower*
+        # than cold — these counters make that regression readable).
+        elapsed = perf_counter() - started
+        obs.count("cache.read_bytes", len(blob))
+        obs.count("cache.deserialize_seconds", elapsed)
+        obs.observe("cache.deserialize_seconds", elapsed)
         if not isinstance(payload, dict):
             obs.count("analysis.cache.corrupt")
             self._remove(path)
@@ -176,8 +191,11 @@ def _solve_chunk(payload: bytes) -> bytes:
 
     The payload is explicitly pickled on both legs so the task stays a
     plain bytes → bytes function regardless of executor implementation.
-    Returns ``(results, iterations, counters)`` where results maps
-    scc_id → {fn key: summary} in component order.
+    Returns ``(results, iterations, counters, histograms, spans)`` where
+    results maps scc_id → {fn key: summary} in component order and
+    ``spans`` is the worker collector's root-span forest (pid/tid-tagged
+    ``analysis.scc`` trees the main process re-parents under the owning
+    ``analysis.wave`` span).
     """
     from repro.analysis.engine import SummaryEngine
 
@@ -192,8 +210,10 @@ def _solve_chunk(payload: bytes) -> bytes:
             iterations += engine.solve_component(component)
             results[scc_id] = {key: engine._summaries[key]
                                for key in component}
-    return pickle.dumps((results, iterations, dict(collector.counters)),
-                        protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(
+        (results, iterations, dict(collector.counters),
+         dict(collector.histograms), list(collector.roots)),
+        protocol=pickle.HIGHEST_PROTOCOL)
 
 
 # ---------------------------------------------------------------------------
@@ -348,16 +368,22 @@ class AnalysisExecutor:
             callee_summaries = {key: engine._summaries[key]
                                 for key in sorted(callees)
                                 if key in engine._summaries}
+            started = perf_counter()
             payload = pickle.dumps(
                 (comps, bodies, all_keys, callee_summaries),
                 protocol=pickle.HIGHEST_PROTOCOL)
+            _record_pickle_cost(len(payload), perf_counter() - started)
+            obs.count("executor.tasks")
             futures.append(pool.submit(_solve_chunk, payload))
         for future in futures:
-            chunk_results, chunk_iterations, counters = \
-                pickle.loads(future.result())
+            blob = future.result()
+            started = perf_counter()
+            chunk_results, chunk_iterations, counters, histograms, \
+                spans = pickle.loads(blob)
+            _record_pickle_cost(len(blob), perf_counter() - started)
             results.update(chunk_results)
             iterations += chunk_iterations
-            _merge_counters(counters)
+            _merge_worker_obs(counters, histograms, spans)
         return results, iterations
 
 
@@ -377,6 +403,33 @@ def _merge_counters(counters: Dict[str, float]) -> None:
     any), so ``--profile`` stays truthful under fan-out."""
     for name, value in sorted(counters.items()):
         obs.count(name, value)
+
+
+def _record_pickle_cost(nbytes: int, seconds: float) -> None:
+    """Per-task serialisation overhead — the suspected culprit behind
+    the fan-out regression (BENCH_parallel speedup < 1), now measured:
+    totals as counters, per-task distribution as a histogram."""
+    obs.count("executor.pickle_bytes", nbytes)
+    obs.count("executor.pickle_seconds", seconds)
+    obs.observe("executor.pickle_seconds", seconds)
+
+
+def _merge_worker_obs(counters: Dict[str, float], histograms,
+                      spans) -> None:
+    """Fold one worker task's full obs payload — counters, histograms,
+    and the pid/tid-tagged span forest — into the installed collector.
+
+    Spans are re-parented under the currently open span (the owning
+    ``analysis.wave``), so a trace shows every worker's solve timeline
+    side by side inside the wave that scheduled it.
+    """
+    _merge_counters(counters)
+    collector = obs.get_collector()
+    if collector is None:
+        return
+    for name, histogram in sorted(histograms.items()):
+        collector.merge_histogram(name, histogram)
+    collector.adopt_spans(spans)
 
 
 def create_pool(jobs: int):

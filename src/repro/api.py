@@ -125,7 +125,12 @@ def _resolve_detector_arg(detectors) -> Optional[List[Detector]]:
 
 
 def _analyze_task(payload: bytes) -> bytes:
-    """Worker-side whole-file analysis (compile + detect, jobs=1)."""
+    """Worker-side whole-file analysis (compile + detect, jobs=1).
+
+    The worker's obs payload — counters, histograms, and its span forest
+    (compile/detector/solve timelines, pid/tid-tagged) — rides back with
+    the report so the session can fold it into the installed collector.
+    """
     from repro.detectors.registry import run_detectors
     name, text, config = pickle.loads(payload)
     with obs.collecting("api-worker") as collector:
@@ -133,8 +138,10 @@ def _analyze_task(payload: bytes) -> bytes:
             text, name=name, emit_bounds_checks=config.emit_bounds_checks)
         report = run_detectors(compiled.program, source=compiled.source,
                                config=config)
-    return pickle.dumps((report, dict(collector.counters)),
-                        protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(
+        (report, dict(collector.counters), dict(collector.histograms),
+         list(collector.roots)),
+        protocol=pickle.HIGHEST_PROTOCOL)
 
 
 class AnalysisSession:
@@ -240,11 +247,12 @@ class AnalysisSession:
                 (name, text, worker_config),
                 protocol=pickle.HIGHEST_PROTOCOL))
             for name, text in named_sources]
+        from repro.analysis.executor import _merge_worker_obs
         out: List[AnalysisReport] = []
         for (name, _text), future in zip(named_sources, futures):
-            report, counters = pickle.loads(future.result())
-            for counter_name, value in sorted(counters.items()):
-                obs.count(counter_name, value)
+            report, counters, histograms, spans = \
+                pickle.loads(future.result())
+            _merge_worker_obs(counters, histograms, spans)
             out.append(AnalysisReport(name=name, report=report,
                                       config=self.config))
         return out

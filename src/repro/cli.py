@@ -4,6 +4,7 @@ Subcommands::
 
     minirust check FILE... [--detector NAME]... [--json] [--profile]
                            [--jobs N] [--cache-dir DIR] [--no-cache]
+                           [--trace-out T.json] [--flame-out F.folded]
                                                run static detectors
     minirust detectors                         list every detector name
     minirust explain FILE                      findings + provenance trails
@@ -13,7 +14,13 @@ Subcommands::
     minirust audit-unsafe FILE...|--corpus     §5 interior-unsafe audit
     minirust tables [--table N|all]            regenerate study tables
     minirust corpus [--scale N] [--seed N]     corpus + detector evaluation
-    minirust stats FILE [--json]               full-pipeline obs dump
+    minirust stats FILE [--json] [--top N]     full-pipeline obs dump
+    minirust bench-diff OLD NEW [--warn]       benchmark-regression diff
+
+``--trace-out`` (also on ``audit-unsafe`` and ``corpus``) writes a
+Chrome-trace/Perfetto timeline of the whole command — including worker
+processes' solve spans re-parented under their waves; ``--flame-out``
+writes folded flamegraph stacks from the same span tree.
 
 Exit codes are uniform: 0 clean, 1 findings / failed run, 2 usage or
 compile error.
@@ -121,9 +128,11 @@ def _cmd_explain(args) -> int:
 
 def _cmd_stats(args) -> int:
     """Run the full static pipeline under a collector and dump the obs
-    trace: per-phase spans, analysis cache counters, detector timings."""
+    trace: per-phase spans, analysis cache counters, detector timings,
+    and (``--top``) the hottest SCCs by summary-solve wall time."""
     installed_here = obs.get_collector() is None
     collector = obs.get_collector() or obs.install("minirust-stats")
+    top = args.top if args.top is not None else 5
     try:
         compiled = compile_file(args.file)
         report = run_all_detectors(compiled)
@@ -133,15 +142,36 @@ def _cmd_stats(args) -> int:
         if args.json:
             payload = collector.to_dict()
             payload["phases"] = obs.phase_timings(collector)
+            payload["hot_sccs"] = obs.hot_sccs(collector, top=top)
             payload["report"] = report.to_dict()
             print(json.dumps(payload, indent=2))
         else:
-            print(collector.render())
+            print(obs.render_text(collector, top_sccs=top))
             print(f"-- findings: {len(report.findings)}")
     finally:
         if installed_here:
             obs.uninstall()
     return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    """Benchmark-regression observatory: diff two BENCH_*.json artifacts
+    (or directories of them) and flag directed changes past threshold."""
+    from repro.obs.benchdiff import bench_diff
+    try:
+        report = bench_diff(args.old, args.new, threshold=args.threshold)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench-diff: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.warn and report.exit_code:
+        print("bench-diff: regressions found (exit 0 due to --warn)",
+              file=sys.stderr)
+        return 0
+    return report.exit_code
 
 
 def _cmd_run(args) -> int:
@@ -317,6 +347,17 @@ def _cmd_corpus(args) -> int:
     return 0
 
 
+def _add_trace_flags(p: argparse.ArgumentParser) -> None:
+    """``--trace-out``/``--flame-out`` for the commands that run the
+    analysis pipeline (check / audit-unsafe / corpus)."""
+    p.add_argument("--trace-out", default=None, metavar="TRACE.json",
+                   help="write a Chrome-trace/Perfetto timeline of the "
+                        "whole command (worker spans included)")
+    p.add_argument("--flame-out", default=None, metavar="OUT.folded",
+                   help="write folded flamegraph stacks "
+                        "(flamegraph.pl / speedscope format)")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="minirust",
@@ -343,6 +384,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "runs re-solve only changed functions")
     p.add_argument("--no-cache", action="store_true",
                    help="skip summary-cache lookups and stores")
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("detectors", help="list every registry detector "
@@ -401,6 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="worker processes (output identical at any N)")
     p.add_argument("--cache-dir", default=None, metavar="DIR")
     p.add_argument("--no-cache", action="store_true")
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_audit_unsafe)
 
     p = sub.add_parser("tables", help="regenerate the study tables")
@@ -419,6 +462,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--no-cache", action="store_true")
     p.add_argument("--profile", action="store_true",
                    help="print corpus generation/evaluation timings")
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_corpus)
 
     p = sub.add_parser("stats", help="run the pipeline under the obs "
@@ -427,18 +471,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--json", action="store_true")
     p.add_argument("--run", action="store_true",
                    help="also interpret the program")
+    p.add_argument("--top", type=int, nargs="?", const=10, default=None,
+                   metavar="N",
+                   help="show the N hottest SCCs by solve time "
+                        "(default 10 when given bare)")
     p.set_defaults(func=_cmd_stats)
 
+    p = sub.add_parser("bench-diff",
+                       help="compare two BENCH_*.json artifacts (or "
+                            "directories) for perf regressions")
+    p.add_argument("old", metavar="OLD",
+                   help="baseline artifact file or directory")
+    p.add_argument("new", metavar="NEW",
+                   help="candidate artifact file or directory")
+    p.add_argument("--threshold", type=float, default=None,
+                   metavar="REL",
+                   help="relative-change significance bar (default 0.10)")
+    p.add_argument("--warn", action="store_true",
+                   help="report regressions but exit 0 (CI warn mode)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the diff report as JSON")
+    p.set_defaults(func=_cmd_bench_diff)
+
     args = parser.parse_args(argv)
-    # `--profile` turns on the obs collector for the whole command; the
-    # timing tree prints after the command's own output (inside the JSON
-    # payload when `--json` is also given).
+    if getattr(args, "threshold", "absent") is None:
+        from repro.obs.benchdiff import DEFAULT_THRESHOLD
+        args.threshold = DEFAULT_THRESHOLD
+    # `--profile` (and any trace/flame output request) turns on the obs
+    # collector for the whole command; the timing tree prints after the
+    # command's own output (inside the JSON payload when `--json` is also
+    # given), and timeline/flame files are written last so they capture
+    # every span the command recorded.
     profiling = getattr(args, "profile", False)
-    collector = obs.install("minirust") if profiling else None
+    trace_out = getattr(args, "trace_out", None)
+    flame_out = getattr(args, "flame_out", None)
+    collector = obs.install("minirust") \
+        if (profiling or trace_out or flame_out) else None
     try:
         code = args.func(args)
-        if collector is not None and not getattr(args, "json", False):
+        if collector is not None and profiling \
+                and not getattr(args, "json", False):
             print(collector.render())
+        if collector is not None and trace_out:
+            obs.write_chrome_trace(collector, trace_out)
+            print(f"trace written to {trace_out} "
+                  f"(load in ui.perfetto.dev or chrome://tracing)",
+                  file=sys.stderr)
+        if collector is not None and flame_out:
+            obs.write_folded(collector, flame_out)
+            print(f"folded stacks written to {flame_out}",
+                  file=sys.stderr)
         return code
     except CompileError as exc:
         print(str(exc), file=sys.stderr)

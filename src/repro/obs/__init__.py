@@ -28,15 +28,19 @@ from repro.obs.core import (
     Collector, Histogram, NOOP_SPAN, NoopSpan, SpanRecord,
 )
 from repro.obs.export import (
-    phase_timings, render_text, to_json, write_json,
+    hot_sccs, phase_timings, render_text, to_json, write_json,
 )
+from repro.obs.flame import folded_stacks, write_folded
 from repro.obs.provenance import fact, jsonable, render_facts
+from repro.obs.trace import to_chrome_trace, write_chrome_trace
 
 __all__ = [
     "Collector", "Histogram", "NoopSpan", "NOOP_SPAN", "SpanRecord",
-    "collecting", "count", "enabled", "fact", "gauge", "get_collector",
-    "install", "jsonable", "observe", "phase_timings", "render_facts",
-    "render_text", "span", "to_json", "uninstall", "write_json",
+    "collecting", "count", "enabled", "fact", "folded_stacks", "gauge",
+    "get_collector", "hot_sccs", "install", "jsonable", "observe",
+    "phase_timings", "render_facts", "render_text", "span",
+    "to_chrome_trace", "to_json", "uninstall", "write_chrome_trace",
+    "write_folded", "write_json",
 ]
 
 #: The process-wide active collector; ``None`` means disabled.
@@ -52,12 +56,25 @@ def enabled() -> bool:
 
 
 def install(name_or_collector: Union[str, Collector] = "repro") -> Collector:
-    """Install (and return) the process-wide collector."""
+    """Install (and return) the process-wide collector.
+
+    Installing over an already-active collector raises: silently
+    replacing it would drop every span and counter it holds.  Re-install
+    of the *same* collector object is an idempotent no-op; for scoped
+    collection that must compose with an outer collector, use
+    :func:`collecting` (which saves and restores the active one).
+    """
     global _active
     if isinstance(name_or_collector, Collector):
-        _active = name_or_collector
+        collector = name_or_collector
     else:
-        _active = Collector(name_or_collector)
+        collector = Collector(name_or_collector)
+    if _active is not None and _active is not collector:
+        raise RuntimeError(
+            f"an obs collector ({_active.name!r}) is already installed; "
+            f"uninstall() it first or use obs.collecting() for scoped "
+            f"collection")
+    _active = collector
     return _active
 
 

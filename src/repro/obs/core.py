@@ -12,6 +12,8 @@ parent, giving the phase tree the exporters render.
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional
@@ -19,13 +21,26 @@ from typing import Any, Dict, List, Optional
 
 @dataclass
 class SpanRecord:
-    """One completed (or still-open) span in the trace tree."""
+    """One completed (or still-open) span in the trace tree.
+
+    Every record carries a collector-stable ``id``, its parent's id
+    (``None`` for roots), and the ``pid``/``tid`` it was recorded on —
+    the links the Chrome-trace exporter and the cross-process fold-back
+    rely on.  Timestamps come from :func:`time.perf_counter`
+    (``CLOCK_MONOTONIC``-class), so durations can never be negative and
+    spans recorded in forked worker processes share the parent's
+    timebase.
+    """
 
     name: str
     start: float
     end: Optional[float] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
     children: List["SpanRecord"] = field(default_factory=list)
+    id: int = 0
+    parent_id: Optional[int] = None
+    pid: int = 0
+    tid: int = 0
 
     @property
     def duration(self) -> float:
@@ -44,6 +59,10 @@ class SpanRecord:
             "name": self.name,
             "duration_s": self.duration,
             "self_s": self.self_time,
+            "id": self.id,
+            "parent": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
         }
         if self.attrs:
             out["attrs"] = dict(self.attrs)
@@ -80,6 +99,11 @@ class _SpanHandle:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        # The span is recorded either way; a raising body is tagged so
+        # the trace shows *where* the pipeline died, not a hole.
+        if exc_type is not None:
+            self._record.attrs.setdefault("error", True)
+            self._record.attrs.setdefault("error_type", exc_type.__name__)
         self._record.end = perf_counter()
         self._collector._pop(self._record)
         return False
@@ -149,21 +173,29 @@ class Collector:
         self.name = name
         self.roots: List[SpanRecord] = []
         self._stack: List[SpanRecord] = []
+        self._last_id = 0
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
 
     # -- spans ----------------------------------------------------------
 
+    def _alloc_id(self) -> int:
+        self._last_id += 1
+        return self._last_id
+
     def span(self, name: str, **attrs: Any) -> _SpanHandle:
         record = SpanRecord(name=name, start=perf_counter(),
-                            attrs=dict(attrs))
+                            attrs=dict(attrs), id=self._alloc_id(),
+                            pid=os.getpid(), tid=threading.get_ident())
         return _SpanHandle(self, record)
 
     def _push(self, record: SpanRecord) -> None:
         if self._stack:
+            record.parent_id = self._stack[-1].id
             self._stack[-1].children.append(record)
         else:
+            record.parent_id = None
             self.roots.append(record)
         self._stack.append(record)
 
@@ -186,6 +218,41 @@ class Collector:
                 return hit
         return None
 
+    def iter_spans(self):
+        """Depth-first walk over every recorded span."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def adopt_spans(self, roots: List[SpanRecord],
+                    parent: Optional[SpanRecord] = None) -> None:
+        """Graft externally recorded span trees (a worker collector's
+        roots, deserialised from a task result) into this collector.
+
+        Each adopted subtree is re-assigned ids from this collector's
+        sequence (worker ids collide across processes) and re-parented
+        under ``parent`` — by default the currently open span, so the
+        executor folds worker solve timelines under the owning
+        ``analysis.wave`` span.  The records' own ``pid``/``tid`` are
+        preserved: that is how a trace shows workers side by side.
+        """
+        if parent is None:
+            parent = self.current_span
+        for root in roots:
+            if parent is not None:
+                parent.children.append(root)
+            else:
+                self.roots.append(root)
+            self._reid(root, parent.id if parent is not None else None)
+
+    def _reid(self, record: SpanRecord, parent_id: Optional[int]) -> None:
+        record.id = self._alloc_id()
+        record.parent_id = parent_id
+        for child in record.children:
+            self._reid(child, record.id)
+
     # -- metrics --------------------------------------------------------
 
     def count(self, name: str, n: float = 1) -> None:
@@ -199,6 +266,23 @@ class Collector:
         if hist is None:
             hist = self.histograms[name] = Histogram()
         hist.observe(value)
+
+    def merge_histogram(self, name: str, other: Histogram) -> None:
+        """Fold a worker histogram into this collector's, preserving
+        count/sum/min/max exactly and samples up to the cap."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.count += other.count
+        hist.total += other.total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            hist.min = bound if hist.min is None else min(hist.min, bound)
+            hist.max = bound if hist.max is None else max(hist.max, bound)
+        room = hist.sample_cap - len(hist.samples)
+        if room > 0:
+            hist.samples.extend(other.samples[:room])
 
     # -- export ---------------------------------------------------------
 

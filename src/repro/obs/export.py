@@ -38,13 +38,56 @@ def _render_span(span: SpanRecord, lines: List[str], prefix: str,
                      is_last=(i == len(span.children) - 1), is_root=False)
 
 
-def render_text(collector: Collector) -> str:
-    """Human-readable dump: span tree, then counters/gauges/histograms."""
+def hot_sccs(collector: Collector, top: int = 10) -> List[Dict[str, Any]]:
+    """Per-unit cost attribution: the ``top`` hottest SCCs by summary-
+    solve wall time, aggregated over every ``analysis.scc`` span in the
+    collector (main-process and folded-back worker spans alike).
+
+    Each entry carries the component head function, total solve seconds,
+    summed fixpoint iterations, component size, and how many times the
+    component was solved — the table behind ``minirust stats --top``.
+    """
+    agg: Dict[str, Dict[str, Any]] = {}
+    for span in collector.iter_spans():
+        if span.name != "analysis.scc":
+            continue
+        head = str(span.attrs.get("head", "?"))
+        entry = agg.setdefault(head, {
+            "fn": head, "wall_s": 0.0, "iterations": 0,
+            "functions": int(span.attrs.get("functions", 1)), "solves": 0,
+        })
+        entry["wall_s"] += span.duration
+        entry["iterations"] += int(span.attrs.get("iterations", 0))
+        entry["solves"] += 1
+    ranked = sorted(agg.values(), key=lambda e: (-e["wall_s"], e["fn"]))
+    return ranked[:max(0, top)]
+
+
+def render_hot_sccs(entries: List[Dict[str, Any]]) -> List[str]:
+    if not entries:
+        return []
+    width = max(max(len(e["fn"]) for e in entries), len("function"))
+    lines = [f"{'function':<{width}}  {'solve':>9}  {'iters':>5} "
+             f"{'fns':>4}  {'solves':>6}"]
+    for e in entries:
+        lines.append(f"{e['fn']:<{width}}  {_fmt_secs(e['wall_s']):>9}  "
+                     f"{e['iterations']:>5} {e['functions']:>4}  "
+                     f"{e['solves']:>6}")
+    return lines
+
+
+def render_text(collector: Collector, top_sccs: int = 5) -> str:
+    """Human-readable dump: span tree, hottest SCCs (when the summary
+    solve ran), then counters/gauges/histograms."""
     lines: List[str] = [f"== trace ({collector.name}) =="]
     if not collector.roots:
         lines.append("(no spans recorded)")
     for root in collector.roots:
         _render_span(root, lines, "", is_last=True, is_root=True)
+    hottest = hot_sccs(collector, top=top_sccs)
+    if hottest:
+        lines.append("== hottest sccs ==")
+        lines.extend(render_hot_sccs(hottest))
     if collector.counters:
         lines.append("== counters ==")
         width = max(len(k) for k in collector.counters)

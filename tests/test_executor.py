@@ -290,6 +290,86 @@ fn wraps(p: *const i32) -> *const i32 { gives(p) }
         assert not list(tmp_path.glob("*.summary.pkl"))
 
 
+def _pool_available() -> bool:
+    import warnings
+
+    from repro.analysis.executor import create_pool
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        pool = create_pool(2)
+    if pool is None:
+        return False
+    pool.shutdown(wait=True)
+    return True
+
+
+class TestObsFoldBack:
+    """Cross-process observability: worker counters, histograms, and
+    spans must fold back into the main collector — and degrade cleanly
+    when the platform has no process pool at all."""
+
+    def test_pool_unavailable_falls_back_in_process(self, monkeypatch):
+        import repro.analysis.executor as executor_mod
+        monkeypatch.setattr(executor_mod, "create_pool",
+                            lambda jobs: None)
+        with obs.collecting() as par:
+            degraded = analyze(JOBS_SRC, name="jobs.rs",
+                               config=AnalysisConfig(jobs=4))
+        with obs.collecting() as ser:
+            serial = analyze(JOBS_SRC, name="jobs.rs",
+                             config=AnalysisConfig(jobs=1))
+        assert json.dumps(degraded.to_dict()) == \
+            json.dumps(serial.to_dict())
+        for key in ("analysis.summaries.iterations",
+                    "analysis.executor.solved_functions"):
+            assert par.counters[key] == ser.counters[key]
+
+    def test_counter_totals_identical_across_jobs(self):
+        totals = []
+        keys = ("analysis.summaries.iterations",
+                "analysis.executor.solved_functions",
+                "analysis.executor.cached_functions")
+        for jobs in (1, 4):
+            with obs.collecting() as col:
+                analyze(JOBS_SRC, name="jobs.rs",
+                        config=AnalysisConfig(jobs=jobs))
+            totals.append({k: col.counters.get(k, 0) for k in keys})
+        assert totals[0] == totals[1]
+        assert totals[0]["analysis.executor.solved_functions"] > 0
+
+    def test_worker_spans_fold_under_wave(self):
+        if not _pool_available():
+            pytest.skip("no process pool on this host")
+        with obs.collecting() as col:
+            analyze(JOBS_SRC, name="jobs.rs",
+                    config=AnalysisConfig(jobs=2))
+        by_id = {s.id: s for s in col.iter_spans()}
+        workers = [s for s in col.iter_spans()
+                   if s.pid != os.getpid()]
+        assert workers, "no worker spans folded back"
+        for span in workers:
+            node = span
+            while node.parent_id is not None \
+                    and node.name != "analysis.wave":
+                node = by_id[node.parent_id]
+            assert node.name == "analysis.wave"
+            assert node.pid == os.getpid()
+        # Serialisation overhead was measured on the way.
+        assert col.counters["executor.tasks"] >= 1
+        assert col.counters["executor.pickle_bytes"] > 0
+        assert col.histograms["executor.pickle_seconds"].count >= 2
+
+    def test_cache_read_cost_counters(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        analyze(EDIT_BASE, name="edit.rs", config=config)
+        with obs.collecting() as warm:
+            analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert warm.counters["cache.read_bytes"] > 0
+        assert warm.counters["cache.deserialize_seconds"] >= 0.0
+        hist = warm.histograms["cache.deserialize_seconds"]
+        assert hist.count == warm.counters["analysis.cache.hit"]
+
+
 class TestComponentCallees:
     def test_external_callees_only(self):
         program, graph = graph_of(CHAIN_SRC)

@@ -1,6 +1,8 @@
 """Tests for the ``repro.obs`` tracing/metrics/provenance subsystem."""
 
 import json
+import os
+import threading
 
 import pytest
 
@@ -105,6 +107,100 @@ class TestSpans:
         assert col.roots[0].end is not None
         assert col.roots[0].children[0].end is not None
 
+    def test_raising_span_is_recorded_and_error_tagged(self):
+        """A span whose body raises still records its end time, and the
+        record is tagged ``error=True`` with the exception type — the
+        trace shows where the pipeline died, not a hole."""
+        col = Collector("t")
+        with pytest.raises(ValueError):
+            with col.span("outer"):
+                with col.span("inner"):
+                    raise ValueError("boom")
+        inner = col.roots[0].children[0]
+        for span in (col.roots[0], inner):
+            assert span.attrs["error"] is True
+            assert span.attrs["error_type"] == "ValueError"
+            assert span.duration >= 0.0
+        # The tag survives into the exporter payload.
+        assert col.to_dict()["spans"][0]["attrs"]["error"] is True
+
+    def test_error_tag_preserves_caller_attrs(self):
+        col = Collector("t")
+        with pytest.raises(RuntimeError):
+            with col.span("s", error="mine") as handle:
+                handle.set(error_type="custom")
+                raise RuntimeError("x")
+        assert col.roots[0].attrs == {"error": "mine",
+                                      "error_type": "custom"}
+
+
+class TestSpanIdentity:
+    def test_ids_unique_and_parent_links_consistent(self):
+        col = Collector("t")
+        with col.span("outer"):
+            with col.span("inner"):
+                pass
+            with col.span("inner2"):
+                pass
+        spans = list(col.iter_spans())
+        ids = [s.id for s in spans]
+        assert len(ids) == len(set(ids)) == 3
+        outer = col.roots[0]
+        assert outer.parent_id is None
+        assert all(c.parent_id == outer.id for c in outer.children)
+        assert all(s.pid == os.getpid() for s in spans)
+        assert all(s.tid == threading.get_ident() for s in spans)
+        d = outer.to_dict()
+        assert d["id"] == outer.id and d["parent"] is None
+        assert d["pid"] == os.getpid()
+
+    def test_adopt_spans_reids_and_reparents(self):
+        """Grafting a worker collector's roots re-assigns ids from the
+        adopting collector's sequence (worker ids collide across
+        processes), re-parents under the open span, and preserves the
+        worker's pid/tid tags."""
+        worker = Collector("w")
+        worker._last_id = 100            # force an id collision
+        with worker.span("analysis.scc", head="f"):
+            with worker.span("sub"):
+                pass
+        worker.roots[0].pid = 99999      # pretend another process
+        main = Collector("m")
+        with main.span("analysis.wave"):
+            with main.span("decoy"):
+                pass
+            main.adopt_spans(list(worker.roots))
+        wave = main.roots[0]
+        assert [c.name for c in wave.children] == ["decoy", "analysis.scc"]
+        adopted = wave.children[1]
+        assert adopted.parent_id == wave.id
+        assert adopted.children[0].parent_id == adopted.id
+        assert adopted.pid == 99999
+        ids = [s.id for s in main.iter_spans()]
+        assert len(ids) == len(set(ids))
+
+    def test_adopt_spans_without_open_span_appends_roots(self):
+        worker = Collector("w")
+        with worker.span("task"):
+            pass
+        main = Collector("m")
+        main.adopt_spans(list(worker.roots))
+        assert [r.name for r in main.roots] == ["task"]
+        assert main.roots[0].parent_id is None
+
+    def test_merge_histogram_exact(self):
+        a = Collector("a")
+        for v in (1.0, 5.0):
+            a.observe("lat", v)
+        b = Collector("b")
+        for v in (0.5, 2.0, 3.0):
+            b.observe("lat", v)
+        a.merge_histogram("lat", b.histograms["lat"])
+        hist = a.histograms["lat"]
+        assert hist.count == 5
+        assert hist.total == 11.5
+        assert hist.min == 0.5 and hist.max == 5.0
+
 
 class TestMetrics:
     def test_counter_aggregation(self):
@@ -171,6 +267,20 @@ class TestNoopPath:
             assert col.counters == {"x": 1}
         finally:
             assert obs.uninstall() is col
+        assert obs.get_collector() is None
+
+    def test_install_over_active_collector_raises(self):
+        """Silently replacing an active collector would drop its spans
+        and counters — install() refuses instead.  Re-installing the
+        same object stays an idempotent no-op."""
+        col = obs.install("first")
+        try:
+            with pytest.raises(RuntimeError, match="already installed"):
+                obs.install("second")
+            assert obs.get_collector() is col
+            assert obs.install(col) is col     # same object: fine
+        finally:
+            obs.uninstall()
         assert obs.get_collector() is None
 
 
