@@ -225,17 +225,33 @@ BENCH_SUMMARIES_PATH = pathlib.Path(__file__).resolve().parent.parent / \
 
 
 def test_summary_engine_artifact(monkeypatch):
-    """Compare the two interprocedural strategies over the corpus and
+    """Compare the two interprocedural *schedules* over the corpus and
     write ``BENCH_summaries.json``.
 
-    The legacy path (``compute_return_summaries``) recomputes points-to
-    for *every* function on *every* fixpoint round, then once more per
-    body for the detectors.  The :class:`SummaryEngine` solves bottom-up
-    over call-graph SCCs, so each acyclic function's points-to is built
-    exactly once during the solve plus once for the detector-facing
-    cache.  Points-to constructions are counted by patching the shared
-    entry point, making the comparison deterministic; wall times ride
-    along as context.
+    Both arms produce the identical product — the full
+    :class:`FunctionSummary` lattice plus one detector-facing points-to
+    per body — so the wall comparison is apples-to-apples:
+
+    * **engine** — the production schedule: bottom-up over call-graph
+      SCCs, worklist per component with early-exit re-queueing, so each
+      acyclic function is summarised exactly once.
+    * **legacy** — the pre-engine schedule (what
+      ``compute_return_summaries`` still does for its one fact family):
+      global Gauss-Seidel rounds over *all* functions until no summary
+      changes, with no SCC ordering and no change tracking.
+
+    (The benchmark originally timed ``compute_return_summaries`` itself
+    as the legacy arm; that compared the engine's six summary families
+    against legacy's one-and-a-half and mostly measured the product gap,
+    not the schedule.)
+
+    Each arm compiles its own fresh corpus: derived per-body state
+    (scans, constraint skeletons) is cached on the MIR bodies, so a
+    shared corpus would hand whichever arm runs second the first arm's
+    warm caches.  Points-to constructions are counted by patching the
+    shared entry point, making the schedule gap deterministic; the
+    reference ``compute_return_summaries`` numbers are recorded as
+    context.
     """
     import time
 
@@ -245,9 +261,12 @@ def test_summary_engine_artifact(monkeypatch):
     from repro.corpus.generator import generate_corpus
 
     corpus = generate_corpus(seed=0, scale=1)
-    programs = [compile_source(f.text, name=f.name).program
+
+    def fresh_programs():
+        return [compile_source(f.text, name=f.name).program
                 for f in corpus.files]
-    total_functions = sum(len(p.functions) for p in programs)
+
+    total_functions = sum(len(p.functions) for p in fresh_programs())
 
     counter = {"n": 0}
     real_compute = points_to_mod.compute_points_to
@@ -260,38 +279,81 @@ def test_summary_engine_artifact(monkeypatch):
                         counting_compute)
     monkeypatch.setattr(engine_mod, "compute_points_to", counting_compute)
 
-    def measure(run):
-        counter["n"] = 0
-        start = time.perf_counter()
-        run()
-        return counter["n"], time.perf_counter() - start
+    def measure(run, trials=2):
+        # Two trials, best wall: one scheduling blip on a noisy host must
+        # not decide an enforcing comparison.  Compute counts are
+        # deterministic, so one trial's count is every trial's count.
+        best = None
+        for _ in range(trials):
+            programs = fresh_programs()
+            counter["n"] = 0
+            start = time.perf_counter()
+            out = run(programs)
+            wall = time.perf_counter() - start
+            if best is None or wall < best[1]:
+                best = (counter["n"], wall, out)
+        return best
 
-    def run_engine():
+    def run_engine(programs):
+        result = {}
         for program in programs:
             engine = SummaryEngine(program)
             for key in program.functions:
                 engine.summary(key)
             for body in program.functions.values():
                 engine.points_to(body)
+            result.update(engine.return_summaries())
+        return result
 
-    def run_legacy():
+    def run_legacy_schedule(programs):
+        from repro.analysis.summaries import FunctionSummary
+        result = {}
+        max_rounds = 0
+        for program in programs:
+            engine = SummaryEngine(program)
+            engine._solved = True        # scheduling is done by hand here
+            keys = list(program.functions)
+            rounds = 0
+            changed = True
+            while changed:
+                rounds += 1
+                assert rounds <= 30, "naive schedule failed to converge"
+                changed = False
+                for key in keys:
+                    body = program.functions[key]
+                    pt = engine_mod.compute_points_to(body, engine._view)
+                    engine._points_to[key] = pt
+                    new = engine._summarize(body, pt, frozenset())
+                    if new != engine._summaries.get(key):
+                        engine._summaries[key] = new
+                        changed = True
+            max_rounds = max(max_rounds, rounds)
+            for key in keys:
+                engine.summary(key)
+            for body in program.functions.values():
+                engine.points_to(body)
+            result.update(engine.return_summaries())
+        return result, max_rounds
+
+    def run_reference(programs):
         from repro.analysis.callgraph import build_call_graph
         for program in programs:
-            # What the pre-engine AnalysisContext computed: the whole-
-            # program return-summary fixpoint, the call graph with its
-            # lock-summary fixpoint (the old double-lock detector's
-            # input), and one cached points-to per body.
             summaries = points_to_mod.compute_return_summaries(program)
             build_call_graph(program).lock_summaries
             for body in program.functions.values():
                 counting_compute(body, summaries)
 
-    engine_computes, engine_wall = measure(run_engine)
-    legacy_computes, legacy_wall = measure(run_legacy)
+    engine_computes, engine_wall, engine_returns = measure(run_engine)
+    legacy_computes, legacy_wall, (legacy_returns, legacy_rounds) = \
+        measure(run_legacy_schedule)
+    ref_computes, ref_wall, _ = measure(run_reference)
 
+    # Same products: both schedules converge to the same fixpoint.
+    assert engine_returns == legacy_returns
     assert engine_computes < legacy_computes, \
         (engine_computes, legacy_computes)
     assert engine_computes >= total_functions
+    assert engine_wall <= legacy_wall, (engine_wall, legacy_wall)
 
     payload = {
         "corpus": {"files": len(corpus.files), "loc": corpus.total_loc,
@@ -299,18 +361,90 @@ def test_summary_engine_artifact(monkeypatch):
         "engine": {"points_to_computes": engine_computes,
                    "wall_s": round(engine_wall, 6)},
         "legacy": {"points_to_computes": legacy_computes,
-                   "wall_s": round(legacy_wall, 6)},
+                   "wall_s": round(legacy_wall, 6),
+                   "rounds": legacy_rounds},
         "computes_ratio": round(legacy_computes / engine_computes, 3),
+        "wall_ratio": round(engine_wall / legacy_wall, 3),
+        "return_summary_reference": {
+            "points_to_computes": ref_computes,
+            "wall_s": round(ref_wall, 6)},
     }
     BENCH_SUMMARIES_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     round_trip = json.loads(BENCH_SUMMARIES_PATH.read_text())
     assert round_trip["engine"]["points_to_computes"] == engine_computes
-    emit("summary engine vs legacy recomputation",
+    emit("summary engine vs legacy schedule",
          f"corpus: {len(corpus.files)} files / {total_functions} fns; "
          f"points-to computes: engine {engine_computes}, legacy "
          f"{legacy_computes} ({payload['computes_ratio']}x); wall: engine "
-         f"{engine_wall * 1e3:.1f}ms, legacy {legacy_wall * 1e3:.1f}ms")
+         f"{engine_wall * 1e3:.1f}ms, legacy {legacy_wall * 1e3:.1f}ms "
+         f"({legacy_rounds} naive rounds)")
+
+
+def test_intern_table_micro():
+    """Intern-table micro-benchmark (tentpole satellite): summary atoms
+    recur heavily across a program's summaries, so the per-analysis
+    :class:`Interner` must collapse them to canonical objects — that
+    identity is what makes the engine's per-iteration summary
+    comparisons shortcut instead of re-hashing deep tuple trees.
+
+    Measured facts land in an ``intern`` section of
+    ``BENCH_summaries.json``: table size vs. atoms seen (the dedup
+    factor) and the hit/miss split from a full corpus-file solve.
+    """
+    from repro.analysis.engine import SummaryEngine
+    from repro.analysis.intern import Interner
+    from repro.corpus.generator import generate_corpus
+
+    # Direct table semantics: equal atoms in, one object out.
+    table = Interner()
+    atoms = [("static", f"LOCK_{i % 8}", (), "mutex") for i in range(256)]
+    canon = [table.intern(tuple(a)) for a in atoms]
+    assert len(table) == 8
+    assert table.misses == 8 and table.hits == 248
+    for i in range(8, 256):
+        assert canon[i] is canon[i % 8]
+    # Interned sets canonicalise as a whole (locksets repeat heavily).
+    assert table.intern_set(atoms[:8]) is table.intern_set(atoms[:8])
+
+    # Engine-level: the whole corpus solved as one program.  Hits must
+    # dominate misses — the whole point is that atoms recur.
+    corpus = generate_corpus(seed=0, scale=1)
+    program = compile_source(corpus.combined_source(),
+                             name="combined.rs").program
+    with obs.collecting() as col:
+        engine = SummaryEngine(program)
+        for key in program.functions:
+            engine.summary(key)
+    hits = col.counters["analysis.intern.hits"]
+    misses = col.counters["analysis.intern.misses"]
+    size = col.gauges["analysis.intern.size"]
+    assert misses > 0 and size == misses
+    assert hits > misses, (hits, misses)
+
+    # Every shared-access atom handed out by the solved summaries is
+    # the canonical object: re-interning it is a pure identity hit.
+    check = engine._intern
+    before = check.hits
+    for summary in engine._summaries.values():
+        for access in summary.shared_accesses:
+            assert check.intern(access) is access
+    assert check.misses == size
+
+    if BENCH_SUMMARIES_PATH.exists():
+        payload = json.loads(BENCH_SUMMARIES_PATH.read_text())
+        payload["intern"] = {
+            "atoms_seen": hits + misses,
+            "table_size": int(size),
+            "hit_fraction": round(hits / (hits + misses), 4),
+        }
+        BENCH_SUMMARIES_PATH.write_text(
+            json.dumps(payload, indent=2) + "\n")
+
+    emit("intern table",
+         f"combined corpus: {hits + misses} atoms interned -> "
+         f"{int(size)} canonical ({hits} hits, "
+         f"{hits / (hits + misses):.1%} hit rate)")
 
 
 BENCH_RACE_PATH = pathlib.Path(__file__).resolve().parent.parent / \

@@ -257,24 +257,29 @@ def direct_locks(body: Body) -> Set[LockId]:
     ids only: args and statics).  Each entry is
     ``(kind_of_id, payload, projection, lock_kind)`` where ``lock_kind`` is
     "mutex" / "read" / "write" / ..."""
-    locks: Set[LockId] = set()
-    for _bb, term in body.iter_terminators():
-        if term.kind is not TerminatorKind.CALL or term.func is None:
-            continue
-        lock_kind = LOCK_ACQUIRE_OPS.get(term.func.builtin_op)
-        if lock_kind is None:
-            continue
-        if not term.args or term.args[0].place is None:
-            continue
-        recv = term.args[0].place.local
-        base, proj = resolve_ref_chain(body, recv)
-        proj_key = tuple((p.field_name or str(p.field_index)) for p in proj)
-        name = body.locals[base].name or ""
-        if name.startswith("static:"):
-            locks.add(("static", name[7:], proj_key, lock_kind))
-        elif 0 < base <= body.arg_count:
-            locks.add(("arg", base - 1, proj_key, lock_kind))
-    return locks
+    from repro.analysis.scan import scan_of
+
+    def compute() -> FrozenSet[LockId]:
+        scan = scan_of(body)
+        locks: Set[LockId] = set()
+        for _bb, term in scan.calls:
+            lock_kind = LOCK_ACQUIRE_OPS.get(term.func.builtin_op)
+            if lock_kind is None:
+                continue
+            if not term.args or term.args[0].place is None:
+                continue
+            recv = term.args[0].place.local
+            base, proj = scan.ref_chain(recv)
+            proj_key = tuple((p.field_name or str(p.field_index))
+                             for p in proj)
+            name = body.locals[base].name or ""
+            if name.startswith("static:"):
+                locks.add(("static", name[7:], proj_key, lock_kind))
+            elif 0 < base <= body.arg_count:
+                locks.add(("arg", base - 1, proj_key, lock_kind))
+        return frozenset(locks)
+
+    return set(scan_of(body).memo("direct_locks", compute))
 
 
 def _translate(lock: LockId, site: CallSite) -> Optional[LockId]:

@@ -33,14 +33,23 @@ class AnalysisConfig:
       function summary to the bottom element.
     * ``detectors`` — detector names to run (``None`` = the full
       registry); validated against the registry by the API layer.
-    * ``jobs`` — worker-process fan-out for the executor; ``1`` keeps
+    * ``jobs`` — worker fan-out for the executor; ``1`` keeps
       everything in-process.
+    * ``executor_backend`` — how ``jobs > 1`` fans out: ``"process"``
+      (stateless worker processes, every task ships its MIR),
+      ``"persistent"`` (a fork-server pool whose initializer ships the
+      compiled MIR once; tasks carry only schedules and callee
+      summaries), or ``"thread"`` (same address space, nothing pickled).
+      Findings are byte-identical across all three at any ``jobs``.
     * ``cache_dir`` / ``use_cache`` — the content-addressed on-disk
       summary cache.  ``cache_dir=None`` disables caching regardless of
       ``use_cache`` (there is nowhere to put it); ``use_cache=False`` is
       the ``--no-cache`` escape hatch that keeps the directory argument
       but skips both lookups and stores.
-    * ``cache_limit`` — entry cap before oldest-first eviction.
+    * ``report_cache`` — the whole-file report tier above the summary
+      cache (batch entry points only): an unchanged source skips
+      compile + detectors entirely.  Needs ``cache_dir``.
+    * ``cache_limit`` — shard-file cap before oldest-first eviction.
     * ``seed`` — deterministic seed forwarded to corpus generation and
       interpreter schedules.
     * ``emit_bounds_checks`` — compile-time switch for the §4.1
@@ -54,18 +63,27 @@ class AnalysisConfig:
     interprocedural: bool = True
     detectors: Optional[Tuple[str, ...]] = None
     jobs: int = 1
+    executor_backend: str = "process"
     cache_dir: Optional[str] = None
     use_cache: bool = True
+    report_cache: bool = True
     cache_limit: int = DEFAULT_CACHE_LIMIT
     seed: int = 0
     emit_bounds_checks: bool = True
     audit_unsafe: bool = False
+
+    EXECUTOR_BACKENDS = ("process", "persistent", "thread")
 
     def __post_init__(self) -> None:
         if not isinstance(self.jobs, int) or isinstance(self.jobs, bool) \
                 or self.jobs < 1:
             raise ValueError(
                 f"jobs must be a positive integer, got {self.jobs!r}")
+        if self.executor_backend not in self.EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"executor_backend must be one of "
+                f"{'/'.join(self.EXECUTOR_BACKENDS)}, "
+                f"got {self.executor_backend!r}")
         if not isinstance(self.cache_limit, int) or self.cache_limit < 1:
             raise ValueError(
                 f"cache_limit must be a positive integer, "

@@ -35,12 +35,14 @@ from repro.analysis.callgraph import (
 )
 from repro.analysis.config import AnalysisConfig, coerce_config
 from repro.analysis.escape import ThreadEscape, compute_thread_escape
+from repro.analysis.intern import Interner
 from repro.analysis.lifetime import (
     LOCK_ACQUIRE_OPS, caller_lock_ids, compute_guard_regions, lock_identity,
 )
 from repro.analysis.points_to import (
     PointsTo, UNKNOWN_TARGET, compute_points_to, return_items,
 )
+from repro.analysis.scan import scan_of
 from repro.analysis.summaries import (
     AccessKey, EffectHop, FunctionSummary, LockId, deref_access_sites,
     opaque_lock, owned_value_args, term_arg_sources, translate_access_loc,
@@ -77,6 +79,19 @@ class _ReturnView:
         return True
 
 
+class _BodyFacts:
+    """Per-body facts the summariser re-reads on every worklist
+    iteration but that only depend on the body text (and the program's
+    key set): the same-thread call-site inventory, direct flags, the
+    const-return skeleton, and the held-on-return preconditions.
+    Cached on the body's scan so cyclic components stop re-deriving
+    them per iteration."""
+
+    __slots__ = ("user_sites", "direct_acquires", "direct_calls_unknown",
+                 "drop_call_facts", "const_skeleton", "return_points",
+                 "guard_return")
+
+
 class SummaryEngine:
     """Computes and caches :class:`FunctionSummary` facts for a program."""
 
@@ -95,6 +110,10 @@ class SummaryEngine:
         self._call_graph: Optional[CallGraph] = None
         self._thread_escape: Optional[ThreadEscape] = None
         self._view = _ReturnView(self)
+        #: Per-analysis intern table for summary atoms (lock ids, access
+        #: locations/keys, locksets) — one canonical object per distinct
+        #: atom, so summary equality checks hit identity fast paths.
+        self._intern = Interner()
         self._solved = False
         self._served: Set[str] = set()
         self._pt_served: Set[str] = set()
@@ -248,6 +267,9 @@ class SummaryEngine:
             return
         with obs.span("analysis.summaries"):
             self._solve()
+        obs.count("analysis.intern.hits", self._intern.hits)
+        obs.count("analysis.intern.misses", self._intern.misses)
+        obs.gauge("analysis.intern.size", len(self._intern))
 
     def _solve(self) -> None:
         # The executor owns scheduling: SCC waves, optional worker-process
@@ -286,12 +308,39 @@ class SummaryEngine:
         cyclic = len(component) > 1 or self._calls_self(
             program.functions[component[0]])
         in_progress = frozenset(component) if cyclic else frozenset()
+        if not cyclic:
+            # Every callee is outside the component and already
+            # converged: one pass is the fixpoint.
+            key = component[0]
+            body = program.functions[key]
+            pt = compute_points_to(body, self._view)
+            obs.count("analysis.summaries.points_to_computes")
+            self._points_to[key] = pt
+            self._summaries[key] = self._summarize(body, pt, in_progress)
+            return 1
+
+        # Early-exit worklist for cyclic components: a member is only
+        # re-summarised when one of its in-component callees changed in
+        # the previous pass.  Its stored points-to / summary then always
+        # reflects its callees' final facts (a later callee change would
+        # have re-queued it), so the fixpoint is identical to the full
+        # re-iteration — the passes just stop paying for unchanged
+        # members.
+        member_set = frozenset(component)
+        deps = {
+            key: frozenset(
+                callee for _bb, _term, callee, _sources in
+                self._body_facts(program.functions[key]).user_sites
+            ) & member_set
+            for key in component}
         iterations = 0
-        changed = True
-        while changed:
+        queued = set(component)
+        while queued:
             iterations += 1
-            changed = False
+            changed_now = set()
             for key in component:
+                if key not in queued:
+                    continue
                 body = program.functions[key]
                 pt = compute_points_to(body, self._view)
                 obs.count("analysis.summaries.points_to_computes")
@@ -302,11 +351,8 @@ class SummaryEngine:
                 new = self._summarize(body, pt, in_progress)
                 if new != self._summaries.get(key):
                     self._summaries[key] = new
-                    changed = True
-            if not cyclic:
-                # Every callee is outside the component and already
-                # converged: one pass is the fixpoint.
-                break
+                    changed_now.add(key)
+            queued = {key for key in component if deps[key] & changed_now}
         return iterations
 
     def adopt_summaries(self, summaries: Dict[str, FunctionSummary]) -> None:
@@ -321,11 +367,88 @@ class SummaryEngine:
     def _calls_self(self, body: Body) -> bool:
         """Does ``body`` (same-thread) call itself?  Mirrors the call
         graph's self-edge test without needing the graph."""
-        for _bb, term in body.iter_terminators():
-            if term.kind is TerminatorKind.CALL and term.func is not None \
-                    and self._callee_of(body, term) == body.key:
-                return True
-        return False
+        return scan_of(body).memo(
+            "calls_self",
+            lambda: any(self._callee_of(body, term) == body.key
+                        for _bb, term in scan_of(body).calls))
+
+    def _body_facts(self, body: Body) -> _BodyFacts:
+        """The body's :class:`_BodyFacts`, built once per body."""
+        scan = scan_of(body)
+        facts = scan.cache.get("engine_facts")
+        if facts is None:
+            facts = scan.cache["engine_facts"] = \
+                self._build_body_facts(body, scan)
+        return facts
+
+    def _build_body_facts(self, body: Body, scan) -> _BodyFacts:
+        program = self.program
+        facts = _BodyFacts()
+        acquires = False
+        calls_unknown = False
+        user_sites: List[Tuple[int, object, str, Tuple]] = []
+        drop_call_facts: List[Tuple] = []
+        for bb, term in scan.calls:
+            func = term.func
+            if func.builtin_op in LOCK_ACQUIRE_OPS:
+                acquires = True
+            if func.kind is FuncKind.UNKNOWN \
+                    or func.builtin_op is BuiltinOp.FFI:
+                calls_unknown = True
+            drop_call_facts.append(
+                (func, tuple((j, arg.place.local, arg.is_move)
+                             for j, arg in enumerate(term.args)
+                             if arg.place is not None)))
+            if func.builtin_op is BuiltinOp.THREAD_SPAWN:
+                continue       # the spawned closure runs on another thread
+            callee = self._callee_of(body, term)
+            if callee is not None and callee in program.functions:
+                user_sites.append((bb, term, callee,
+                                   tuple(term_arg_sources(body, term))))
+        facts.user_sites = tuple(user_sites)
+        facts.direct_acquires = acquires
+        facts.direct_calls_unknown = calls_unknown
+        facts.drop_call_facts = tuple(drop_call_facts)
+
+        # Const-return skeleton: the direct constant assignments to the
+        # return place plus the callee keys whose const-ness must be
+        # resolved against live summaries per iteration.
+        values: List[int] = []
+        unknown = False
+        for _bb, _i, stmt in scan.statements:
+            if stmt.kind is not StatementKind.ASSIGN \
+                    or not stmt.place.is_local or stmt.place.local != 0:
+                continue
+            rv = stmt.rvalue
+            if rv is not None and rv.kind is RvalueKind.USE \
+                    and rv.operands[0].is_const \
+                    and isinstance(rv.operands[0].constant.value, int) \
+                    and not isinstance(rv.operands[0].constant.value, bool):
+                values.append(rv.operands[0].constant.value)
+            else:
+                unknown = True
+        zero_dest_calls: List[Optional[str]] = []
+        for _bb, term in scan.calls:
+            if term.destination is None or not term.destination.is_local \
+                    or term.destination.local != 0:
+                continue
+            func = term.func
+            zero_dest_calls.append(
+                func.user_fn
+                if func.kind in (FuncKind.USER, FuncKind.CLOSURE)
+                else None)
+        facts.const_skeleton = (tuple(values), unknown,
+                                tuple(zero_dest_calls))
+
+        ret_ty = body.local_ty(0)
+        facts.guard_return = ret_ty.is_guard or any(
+            a.is_guard for a in ret_ty.args)
+        facts.return_points = frozenset(
+            (block.index, len(block.statements))
+            for block in body.blocks
+            if block.terminator is not None
+            and block.terminator.kind is TerminatorKind.RETURN)
+        return facts
 
     def _callee_of(self, body: Body, term) -> Optional[str]:
         """Same-thread callee key of a call terminator, or None."""
@@ -344,7 +467,9 @@ class SummaryEngine:
     def _summarize(self, body: Body, pt: PointsTo,
                    in_progress: FrozenSet[str]) -> FunctionSummary:
         key = body.key
-        program = self.program
+        intern = self._intern.intern
+        facts = self._body_facts(body)
+        user_sites = facts.user_sites
 
         returns: Set = set(return_items(body, pt))
         for target in pt.targets(0):
@@ -354,29 +479,11 @@ class SummaryEngine:
                 returns.add("unknown")
 
         locks: Dict[LockId, Optional[Tuple[str, LockId]]] = {
-            lock: None for lock in direct_locks(body)}
-        acquires = bool(locks)
-        calls_unknown = False
+            intern(lock): None for lock in direct_locks(body)}
+        acquires = bool(locks) or facts.direct_acquires
+        calls_unknown = facts.direct_calls_unknown
         may_drop: Dict[int, EffectHop] = {}
         escapes: Dict[int, EffectHop] = {}
-
-        # Call-site inventory: direct facts + same-thread callee sites.
-        user_sites: List[Tuple[int, object, str, List[Optional[int]]]] = []
-        for bb, term in body.iter_terminators():
-            if term.kind is not TerminatorKind.CALL or term.func is None:
-                continue
-            func = term.func
-            if func.builtin_op in LOCK_ACQUIRE_OPS:
-                acquires = True
-            if func.kind is FuncKind.UNKNOWN \
-                    or func.builtin_op is BuiltinOp.FFI:
-                calls_unknown = True
-            if func.builtin_op is BuiltinOp.THREAD_SPAWN:
-                continue       # the spawned closure runs on another thread
-            callee = self._callee_of(body, term)
-            if callee is not None and callee in program.functions:
-                user_sites.append((bb, term, callee,
-                                   term_arg_sources(body, term)))
 
         # Compose callee effects into this summary.
         for _bb, term, callee, sources in user_sites:
@@ -389,8 +496,10 @@ class SummaryEngine:
                 acquires = True
             for lock in callee_summary.locks:
                 translated = translate_lock(lock, sources)
-                if translated is not None and translated not in locks:
-                    locks[translated] = (callee, lock)
+                if translated is not None:
+                    translated = intern(translated)
+                    if translated not in locks:
+                        locks[translated] = (callee, lock)
             for position in callee_summary.arg_escapes:
                 if position < len(sources) \
                         and sources[position] is not None:
@@ -399,22 +508,15 @@ class SummaryEngine:
 
         # May-drop / escape facts for owned by-value arguments.
         int_returns = {item for item in returns if isinstance(item, int)}
+        drop_locals = scan_of(body).drop_locals
         for position in owned_value_args(body):
             chain = value_chain(body, position + 1)
-            forgotten = escaped = explicit = False
+            forgotten = escaped = False
+            explicit = any(local in chain for local in drop_locals)
             moved_hop: Optional[EffectHop] = None
-            for _bb, _i, stmt in body.iter_statements():
-                if stmt.kind is StatementKind.DROP and stmt.place.is_local \
-                        and stmt.place.local in chain:
-                    explicit = True
-            for _bb, term in body.iter_terminators():
-                if term.kind is not TerminatorKind.CALL or term.func is None:
-                    continue
-                func = term.func
+            for func, arg_entries in facts.drop_call_facts:
                 op = func.builtin_op
-                if not any(arg.place is not None
-                           and arg.place.local in chain
-                           for arg in term.args):
+                if not any(local in chain for _j, local, _m in arg_entries):
                     continue
                 if op is BuiltinOp.MEM_FORGET:
                     forgotten = True
@@ -427,9 +529,8 @@ class SummaryEngine:
                     callee_summary = self._summaries.get(func.user_fn)
                     if callee_summary is None:
                         continue
-                    for j, arg in enumerate(term.args):
-                        if arg.place is not None and arg.is_move \
-                                and arg.place.local in chain \
+                    for j, local, is_move in arg_entries:
+                        if is_move and local in chain \
                                 and callee_summary.drops_arg(j):
                             moved_hop = (func.user_fn, j)
                             break
@@ -463,26 +564,19 @@ class SummaryEngine:
         # Only runs when the return type can actually carry a guard out
         # of the frame AND a lock is acquired in the call tree.
         held: Set[LockId] = set()
-        ret_ty = body.local_ty(0)
-        guard_return = ret_ty.is_guard or any(
-            a.is_guard for a in ret_ty.args)
-        might_hold = guard_return and (acquires or any(
+        might_hold = facts.guard_return and (acquires or any(
             (callee_summary := self._summaries.get(callee)) is not None
             and callee_summary.locks_held_on_return
             for _bb, _term, callee, _sources in user_sites))
         if might_hold:
-            return_points = {
-                (block.index, len(block.statements))
-                for block in body.blocks
-                if block.terminator is not None
-                and block.terminator.kind is TerminatorKind.RETURN}
+            return_points = facts.return_points
             for region in guard_regions():
                 if region.is_try or not (region.points & return_points):
                     continue
                 for ident in region.lock_ids:
                     if ident[0] in ("arg", "static"):
-                        held.add((ident[0], ident[1], ident[2],
-                                  region.kind))
+                        held.add(intern((ident[0], ident[1], ident[2],
+                                         region.kind)))
 
         shared = self._shared_accesses(body, pt, user_sites, acquires,
                                        guard_regions)
@@ -519,6 +613,9 @@ class SummaryEngine:
             and cs.acquires_any_lock
             for _bb, _term, callee, _sources in user_sites)
 
+        intern = self._intern.intern
+        intern_set = self._intern.intern_set
+
         def locks_at(point) -> FrozenSet:
             if not might_lock:
                 return frozenset()
@@ -528,7 +625,7 @@ class SummaryEngine:
                     for ident in region.lock_ids:
                         if ident[0] in ("arg", "static", "heap"):
                             out.add(ident + (region.kind,))
-            return frozenset(out)
+            return intern_set(out)
 
         shared: Dict[AccessKey, Tuple] = {}
         for point, base, proj, is_write, span in deref_access_sites(body):
@@ -549,7 +646,8 @@ class SummaryEngine:
                 continue
             lockset = locks_at(point)
             for loc in sorted(locs):
-                shared.setdefault((loc, is_write, lockset), (None, span))
+                shared.setdefault(intern((intern(loc), is_write, lockset)),
+                                  (None, span))
 
         for bb, term, callee, sources in user_sites:
             callee_summary = self._summaries.get(callee)
@@ -594,10 +692,11 @@ class SummaryEngine:
                         # the lock has no caller name (documented FP/FN
                         # trade: an opaque lock never matches another).
                         tlocks.add(opaque_lock(callee, lk))
-                key_locks = frozenset(tlocks)
+                key_locks = intern_set(tlocks)
                 for loc_t in sorted(locs):
-                    shared.setdefault((loc_t, is_write, key_locks),
-                                      ((callee, access), term.span))
+                    shared.setdefault(
+                        intern((intern(loc_t), is_write, key_locks)),
+                        ((callee, access), term.span))
         return shared
 
     def _lock_orders(self, body: Body, pt: PointsTo, user_sites,
@@ -617,15 +716,18 @@ class SummaryEngine:
             return {}
 
         orders: Dict[Tuple[LockId, LockId], object] = {}
+        intern = self._intern.intern
 
         def add_pairs(firsts, seconds, span) -> None:
             for a in sorted(firsts):
                 for b in sorted(seconds):
                     if a[:3] != b[:3] and len(a[2]) <= self._MAX_PROJ \
                             and len(b[2]) <= self._MAX_PROJ:
-                        orders.setdefault((a, b), span)
+                        orders.setdefault(intern((intern(a), intern(b))),
+                                          span)
 
         # Direct pairs: a later acquisition inside a held region.
+        calls = scan_of(body).calls
         for region in guard_regions():
             if region.is_try:
                 continue
@@ -634,10 +736,7 @@ class SummaryEngine:
                       if ident[0] in ("arg", "static")}
             if not firsts:
                 continue
-            for bb, term in body.iter_terminators():
-                if term.kind is not TerminatorKind.CALL \
-                        or term.func is None:
-                    continue
+            for bb, term in calls:
                 point = (bb, len(body.blocks[bb].statements))
                 if not region.covers(point):
                     continue
@@ -697,31 +796,13 @@ class SummaryEngine:
         Callees inside the SCC still being iterated count as unknown, so
         this field never oscillates during the worklist.
         """
-        values: List[int] = []
-        unknown = False
-        for _bb, _i, stmt in body.iter_statements():
-            if stmt.kind is not StatementKind.ASSIGN \
-                    or not stmt.place.is_local or stmt.place.local != 0:
-                continue
-            rv = stmt.rvalue
-            if rv is not None and rv.kind is RvalueKind.USE \
-                    and rv.operands[0].is_const \
-                    and isinstance(rv.operands[0].constant.value, int) \
-                    and not isinstance(rv.operands[0].constant.value, bool):
-                values.append(rv.operands[0].constant.value)
-            else:
-                unknown = True
-        for _bb, term in body.iter_terminators():
-            if term.kind is not TerminatorKind.CALL or term.func is None:
-                continue
-            if term.destination is None or not term.destination.is_local \
-                    or term.destination.local != 0:
-                continue
-            func = term.func
+        direct_values, unknown, zero_dest_calls = \
+            self._body_facts(body).const_skeleton
+        values: List[int] = list(direct_values)
+        for user_fn in zero_dest_calls:
             resolved = False
-            if func.kind in (FuncKind.USER, FuncKind.CLOSURE) \
-                    and func.user_fn not in in_progress:
-                callee_summary = self._summaries.get(func.user_fn)
+            if user_fn is not None and user_fn not in in_progress:
+                callee_summary = self._summaries.get(user_fn)
                 if callee_summary is not None \
                         and callee_summary.const_return is not None:
                     values.append(callee_summary.const_return)

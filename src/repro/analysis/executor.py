@@ -51,48 +51,209 @@ from repro.analysis.summaries import (
 )
 from repro.mir.nodes import Body, Program
 
-#: Bump when the summary format or solve semantics change: stale cache
-#: entries from older formats must never be served.  The value feeds the
-#: component key *and* is stored inside each payload, so entries written
-#: before the payload was versioned (format 1 stored a bare summary
-#: dict) are recognised as stale and evicted rather than unpickled into
-#: a summary missing the newer fields.
+#: On-disk *container* format.  Bump when the shard/index layout
+#: changes: payloads from other formats are recognised as stale and
+#: evicted rather than unpickled into the wrong shape.
 #:
-#: v2: ``FunctionSummary`` gained ``unsafe_provenance`` + ``lock_orders``
-#: and payloads became ``{"format": N, "summaries": {...}}``.
-CACHE_FORMAT = 2
+#: v2: one ``<key>.summary.pkl`` pickle per component,
+#: ``{"format": 2, "summaries": {...}}``.
+#: v3: per-wave shard files (``<hash>.shard.pkl``) holding every
+#: component a wave stored, plus a content-addressed index mapping
+#: component key → shard file.  v2 per-entry files are still *read*
+#: (transparent migration: a hit from one is re-sharded and the old
+#: file retired), never written.
+CACHE_FORMAT = 3
+
+#: Format v2 per-entry payloads carry; the migration reader accepts
+#: exactly this (format-1 bare dicts stay stale).
+LEGACY_CACHE_FORMAT = 2
+
+#: Versions the *component key*, i.e. the summary solve semantics —
+#: separate from the container format so the v3 layout can serve
+#: entries keyed identically to v2 (that is what makes the migration
+#: a cache hit rather than a re-solve storm).  Bump when
+#: ``FunctionSummary`` fields or solve semantics change.
+SUMMARY_KEY_VERSION = 2
 
 
 def body_fingerprint(body: Body) -> str:
     """Content hash of one function's MIR (spans included — summaries
-    carry spans, so a moved function must not serve stale locations)."""
-    return hashlib.sha256(canonical(body).encode()).hexdigest()
+    carry spans, so a moved function must not serve stale locations).
+
+    Memoised on the body under an underscore attribute: ``canonical()``
+    walks only dataclass fields so the memo can never feed back into the
+    hash, and ``Body.__getstate__`` strips it from pickles (worker
+    payloads, cache entries) like every other piece of derived state.
+    """
+    fp = body.__dict__.get("_fingerprint")
+    if fp is None:
+        fp = hashlib.sha256(canonical(body).encode()).hexdigest()
+        body.__dict__["_fingerprint"] = fp
+    return fp
 
 
 # ---------------------------------------------------------------------------
-# On-disk summary cache
+# On-disk caches (summary shards + whole-file reports)
 # ---------------------------------------------------------------------------
+
+_trash_seq = 0
+
+
+def _safe_remove(path: str) -> None:
+    """Rename first, then unlink.  A concurrent reader either opens the
+    intact file before the rename or gets a clean ``FileNotFoundError``
+    after it — never a torn entry — and an evictor racing a writer that
+    just re-created ``path`` can no longer delete the *fresh* file: the
+    rename moved exactly one inode out of the way."""
+    global _trash_seq
+    _trash_seq += 1
+    trash = f"{path}.{os.getpid()}.{_trash_seq}.trash"
+    try:
+        os.rename(path, trash)
+    except OSError:
+        return
+    try:
+        os.remove(trash)
+    except OSError:
+        pass
+
+
+def _atomic_write(root: str, path: str, payload: object) -> bool:
+    try:
+        fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+        with os.fdopen(fd, "wb") as f:
+            pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:
+        return False      # a full or read-only cache disables itself
+    return True
+
+
+def _evict_over_limit(root: str, suffix: str, limit: int) -> List[str]:
+    """Oldest-first eviction of ``*suffix`` files beyond ``limit``;
+    returns the removed file names."""
+    try:
+        entries = [e for e in os.scandir(root) if e.name.endswith(suffix)]
+    except OSError:
+        return []
+    excess = len(entries) - limit
+    if excess <= 0:
+        return []
+    try:
+        entries.sort(key=lambda e: (e.stat().st_mtime, e.name))
+    except OSError:          # entry vanished under a concurrent evict
+        return []
+    removed = []
+    for entry in entries[:excess]:
+        _safe_remove(entry.path)
+        obs.count("analysis.cache.evict")
+        removed.append(entry.name)
+    return removed
+
 
 class SummaryCache:
-    """Content-addressed store of per-component summary dicts.
+    """Content-addressed store of per-component summary dicts, packed
+    into per-wave shard files.
 
-    One pickle file per key under ``root``.  Writes are atomic
-    (tempfile + rename) so concurrent workers and sessions sharing a
-    cache directory can only ever observe complete entries.  Any failure
-    to load — unreadable file, truncated pickle, wrong payload shape —
-    counts as a miss: the entry is evicted and the component recomputed.
+    Layout (v3): each ``put_wave`` writes one ``<hash>.shard.pkl``
+    holding every component the wave stored — summaries *plus* their
+    precomputed summary fingerprints, so a warm run neither re-opens a
+    file per component nor re-hashes every served summary.  A
+    ``shards.index.pkl`` maps component key → shard file; a warm run
+    therefore costs one index read plus one shard read per wave.
+
+    Writes are atomic (tempfile + rename) so concurrent workers and
+    sessions sharing a cache directory only ever observe complete
+    entries; removals rename-then-unlink (see :func:`_safe_remove`).
+    Any failure to load — unreadable file, truncated pickle, wrong
+    payload shape — counts as a miss: the entry is evicted and the
+    component recomputed.  v2 per-entry ``<key>.summary.pkl`` files are
+    still read (the component key never changed, see
+    ``SUMMARY_KEY_VERSION``); hits from them are re-sharded by the
+    caller and the old file retired.
     """
+
+    INDEX_NAME = "shards.index.pkl"
 
     def __init__(self, root: str, limit: int) -> None:
         self.root = root
         self.limit = limit
         os.makedirs(root, exist_ok=True)
+        self._index: Optional[Dict[str, str]] = None
 
-    def _path(self, key: str) -> str:
+    # -- paths ---------------------------------------------------------------
+
+    def _index_path(self) -> str:
+        return os.path.join(self.root, self.INDEX_NAME)
+
+    def _shard_path(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def _legacy_path(self, key: str) -> str:
         return os.path.join(self.root, key + ".summary.pkl")
 
-    def get(self, key: str) -> Optional[Dict[str, FunctionSummary]]:
-        path = self._path(key)
+    # -- index ---------------------------------------------------------------
+
+    def _load_index(self) -> Dict[str, str]:
+        if self._index is not None:
+            return self._index
+        try:
+            with open(self._index_path(), "rb") as f:
+                payload = pickle.load(f)
+            if isinstance(payload, dict) \
+                    and payload.get("format") == CACHE_FORMAT \
+                    and isinstance(payload.get("shards"), dict):
+                self._index = dict(payload["shards"])
+                return self._index
+            _safe_remove(self._index_path())
+        except FileNotFoundError:
+            pass
+        except Exception:
+            obs.count("analysis.cache.corrupt")
+            _safe_remove(self._index_path())
+        # Missing or bad index: rebuild it from the shards themselves —
+        # the index is an accelerator, never the source of truth.
+        self._index = self._scan_shards()
+        return self._index
+
+    def _scan_shards(self) -> Dict[str, str]:
+        index: Dict[str, str] = {}
+        try:
+            names = sorted(e.name for e in os.scandir(self.root)
+                           if e.name.endswith(".shard.pkl"))
+        except OSError:
+            return index
+        for name in names:
+            entries = self._read_shard(name)
+            if entries:
+                for ckey in entries:
+                    index[ckey] = name
+        return index
+
+    def _write_index(self) -> None:
+        # Merge with the on-disk index first: a concurrent session may
+        # have added mappings since we loaded ours.  Lost updates only
+        # cost a future miss, never a wrong hit.
+        merged: Dict[str, str] = {}
+        try:
+            with open(self._index_path(), "rb") as f:
+                payload = pickle.load(f)
+            if isinstance(payload, dict) \
+                    and payload.get("format") == CACHE_FORMAT \
+                    and isinstance(payload.get("shards"), dict):
+                merged.update(payload["shards"])
+        except Exception:
+            pass
+        merged.update(self._index or {})
+        self._index = merged
+        _atomic_write(self.root, self._index_path(),
+                      {"format": CACHE_FORMAT, "shards": merged})
+
+    # -- reads ---------------------------------------------------------------
+
+    def _read_blob(self, path: str):
+        """Read + unpickle one cache file, recording warm-serving cost;
+        ``None`` on any failure (the file is evicted)."""
         try:
             started = perf_counter()
             with open(path, "rb") as f:
@@ -104,70 +265,236 @@ class SummaryCache:
             # Truncated, corrupted, or unreadable: recompute instead of
             # crashing, and drop the bad entry so it cannot recur.
             obs.count("analysis.cache.corrupt")
-            self._remove(path)
+            _safe_remove(path)
             return None
-        # Per-entry cost of serving warm: the numbers that decide
-        # whether the cache profits (ROADMAP: warm is currently *slower*
-        # than cold — these counters make that regression readable).
         elapsed = perf_counter() - started
         obs.count("cache.read_bytes", len(blob))
         obs.count("cache.deserialize_seconds", elapsed)
         obs.observe("cache.deserialize_seconds", elapsed)
-        if not isinstance(payload, dict):
+        return payload
+
+    def _read_shard(self, name: str):
+        path = self._shard_path(name)
+        payload = self._read_blob(path)
+        if payload is None:
+            return None
+        obs.count("analysis.cache.shard_read")
+        if not isinstance(payload, dict) \
+                or not isinstance(payload.get("entries"), dict):
             obs.count("analysis.cache.corrupt")
-            self._remove(path)
+            _safe_remove(path)
             return None
         if payload.get("format") != CACHE_FORMAT:
-            # A pre-versioning bare summary dict, or an entry written by
-            # a different format: structurally valid but semantically
-            # stale.  Served summaries would silently lack newer fields.
             obs.count("analysis.cache.stale")
-            self._remove(path)
+            _safe_remove(path)
+            return None
+        return payload["entries"]
+
+    @staticmethod
+    def _valid_summaries(summaries) -> bool:
+        return isinstance(summaries, dict) and all(
+            isinstance(k, str) and isinstance(v, FunctionSummary)
+            for k, v in summaries.items())
+
+    def _get_legacy(self, key: str):
+        """v2 migration path: one ``<key>.summary.pkl`` per component."""
+        path = self._legacy_path(key)
+        payload = self._read_blob(path)
+        if payload is None:
+            return None
+        if not isinstance(payload, dict):
+            obs.count("analysis.cache.corrupt")
+            _safe_remove(path)
+            return None
+        if payload.get("format") != LEGACY_CACHE_FORMAT:
+            # Format-1 bare dicts (and anything newer/unknown) would
+            # serve summaries missing fields: stale, evict, recompute.
+            obs.count("analysis.cache.stale")
+            _safe_remove(path)
             return None
         summaries = payload.get("summaries")
-        if not isinstance(summaries, dict) or not all(
-                isinstance(k, str) and isinstance(v, FunctionSummary)
-                for k, v in summaries.items()):
+        if not self._valid_summaries(summaries):
             obs.count("analysis.cache.corrupt")
-            self._remove(path)
+            _safe_remove(path)
             return None
+        obs.count("analysis.cache.migrated")
         return summaries
 
-    def put(self, key: str, summaries: Dict[str, FunctionSummary]) -> None:
-        path = self._path(key)
-        payload = {"format": CACHE_FORMAT, "summaries": summaries}
-        try:
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            with os.fdopen(fd, "wb") as f:
-                pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except OSError:
-            return        # a full or read-only cache disables itself
-        obs.count("analysis.cache.store")
-        self._evict_over_limit()
+    def get_wave(self, ckeys):
+        """Serve every cached component of one wave in bulk.
 
-    def _remove(self, path: str) -> None:
-        try:
-            os.remove(path)
-        except OSError:
-            pass
+        Returns ``(found, fps, migrated)``: ``found`` maps component
+        key → ``{fn: summary}``, ``fps`` maps component key →
+        ``{fn: summary fingerprint}`` (only for shard entries — legacy
+        entries predate stored fingerprints), and ``migrated`` is the
+        set of keys served from v2 per-entry files, which the caller
+        re-shards and retires.
+        """
+        index = self._load_index()
+        found: Dict[str, Dict[str, FunctionSummary]] = {}
+        fps: Dict[str, Dict[str, str]] = {}
+        migrated = set()
+        by_shard: Dict[str, List[str]] = {}
+        for ckey in ckeys:
+            shard = index.get(ckey)
+            if shard is not None:
+                by_shard.setdefault(shard, []).append(ckey)
+        for shard, keys in sorted(by_shard.items()):
+            entries = self._read_shard(shard)
+            if entries is None:
+                for ckey in keys:       # dead mapping: prune lazily
+                    index.pop(ckey, None)
+                continue
+            for ckey in keys:
+                entry = entries.get(ckey)
+                if not isinstance(entry, dict) \
+                        or not self._valid_summaries(
+                            entry.get("summaries")):
+                    obs.count("analysis.cache.corrupt")
+                    continue
+                found[ckey] = entry["summaries"]
+                entry_fps = entry.get("summary_fps")
+                if isinstance(entry_fps, dict):
+                    fps[ckey] = entry_fps
+        for ckey in ckeys:
+            if ckey in found:
+                continue
+            legacy = self._get_legacy(ckey)
+            if legacy is not None:
+                found[ckey] = legacy
+                migrated.add(ckey)
+        return found, fps, migrated
+
+    def get(self, key: str) -> Optional[Dict[str, FunctionSummary]]:
+        """Single-component convenience over :meth:`get_wave`."""
+        found, _fps, _migrated = self.get_wave([key])
+        return found.get(key)
+
+    # -- writes --------------------------------------------------------------
+
+    def put_wave(self, entries, retire=()) -> Optional[str]:
+        """Store one wave's components as a single shard file.
+
+        ``entries`` maps component key → ``(summaries, summary_fps)``.
+        The shard name is content-addressed from the component keys it
+        holds, so re-storing the same wave replaces (atomically) rather
+        than duplicates.  ``retire`` lists migrated v2 keys whose
+        per-entry files are unlinked now that their contents live in a
+        shard.  Returns the shard file name (``None`` if nothing was
+        written).
+        """
+        if not entries:
+            return None
+        h = hashlib.sha256("\x00".join(sorted(entries)).encode())
+        name = h.hexdigest()[:40] + ".shard.pkl"
+        payload = {
+            "format": CACHE_FORMAT,
+            "entries": {ckey: {"summaries": summaries,
+                               "summary_fps": summary_fps}
+                        for ckey, (summaries, summary_fps)
+                        in sorted(entries.items())},
+        }
+        if not _atomic_write(self.root, self._shard_path(name), payload):
+            return None
+        obs.count("analysis.cache.store", len(entries))
+        index = self._load_index()
+        for ckey in entries:
+            index[ckey] = name
+        self._write_index()
+        for ckey in retire:
+            _safe_remove(self._legacy_path(ckey))
+        self._evict_over_limit()
+        return name
+
+    def put(self, key: str, summaries: Dict[str, FunctionSummary],
+            summary_fps: Optional[Dict[str, str]] = None) -> None:
+        """Single-component convenience over :meth:`put_wave`."""
+        if summary_fps is None:
+            summary_fps = {k: summary_fingerprint(v)
+                           for k, v in summaries.items()}
+        self.put_wave({key: (summaries, summary_fps)})
 
     def _evict_over_limit(self) -> None:
+        removed = _evict_over_limit(self.root, ".shard.pkl", self.limit)
+        if not removed:
+            return
+        dead = set(removed)
+        index = self._load_index()
+        for ckey in [k for k, shard in index.items() if shard in dead]:
+            index.pop(ckey, None)
+        _atomic_write(self.root, self._index_path(),
+                      {"format": CACHE_FORMAT, "shards": index})
+
+
+#: Bump when the report payload or detector semantics the report tier
+#: cannot observe through its key change shape.
+REPORT_CACHE_FORMAT = 1
+
+#: Shard/report caps share one knob (``config.cache_limit``); reports
+#: are small, so the report tier keeps a generous fixed multiple.
+_REPORT_LIMIT_FACTOR = 4
+
+
+class ReportCache:
+    """Whole-file report tier above the summary cache.
+
+    The summary cache saves the *solve*; it cannot save the compile or
+    the detector walks, which dominate a warm corpus audit.  This tier
+    keys the finished detector :class:`~repro.detectors.report.Report`
+    on the source text plus every config knob that can change findings,
+    so an unchanged file skips the front end entirely.  Same atomicity
+    and corruption discipline as :class:`SummaryCache`.
+    """
+
+    def __init__(self, root: str,
+                 limit: int = 65536 * _REPORT_LIMIT_FACTOR) -> None:
+        self.root = root
+        self.limit = limit
+        os.makedirs(root, exist_ok=True)
+
+    @staticmethod
+    def key(name: str, text: str, config: AnalysisConfig) -> str:
+        from repro.detectors.report import SCHEMA_VERSION
+        h = hashlib.sha256()
+        h.update(f"repro-report-cache-v{REPORT_CACHE_FORMAT}"
+                 f":schema{SCHEMA_VERSION}\x00".encode())
+        knobs = (config.interprocedural, config.detectors,
+                 config.emit_bounds_checks, config.audit_unsafe)
+        h.update(repr(knobs).encode())
+        h.update(b"\x00")
+        h.update(name.encode())
+        h.update(b"\x00")
+        h.update(text.encode())
+        return h.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".report.pkl")
+
+    def get(self, key: str):
+        from repro.detectors.report import Report
+        path = self._path(key)
         try:
-            entries = [e for e in os.scandir(self.root)
-                       if e.name.endswith(".summary.pkl")]
-        except OSError:
-            return
-        excess = len(entries) - self.limit
-        if excess <= 0:
-            return
-        try:
-            entries.sort(key=lambda e: (e.stat().st_mtime, e.name))
-        except OSError:          # entry vanished under a concurrent evict
-            return
-        for entry in entries[:excess]:
-            self._remove(entry.path)
-            obs.count("analysis.cache.evict")
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            obs.count("analysis.report_cache.corrupt")
+            _safe_remove(path)
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("format") != REPORT_CACHE_FORMAT \
+                or not isinstance(payload.get("report"), Report):
+            obs.count("analysis.report_cache.corrupt")
+            _safe_remove(path)
+            return None
+        return payload["report"]
+
+    def put(self, key: str, report) -> None:
+        payload = {"format": REPORT_CACHE_FORMAT, "report": report}
+        if _atomic_write(self.root, self._path(key), payload):
+            obs.count("analysis.report_cache.store")
+            _evict_over_limit(self.root, ".report.pkl", self.limit)
 
 
 # ---------------------------------------------------------------------------
@@ -186,6 +513,23 @@ class _SkeletonFunctions(dict):
         return key in self._all_keys or dict.__contains__(self, key)
 
 
+def _solve_components(program: Program, comps, callee_summaries):
+    """Solve independent components on a fresh engine; shared by every
+    worker flavour.  Returns ``(results, iterations)`` with results
+    mapping scc_id → {fn key: summary} in component order."""
+    from repro.analysis.engine import SummaryEngine
+
+    engine = SummaryEngine(program)
+    engine.adopt_summaries(callee_summaries)
+    results: Dict[int, Dict[str, FunctionSummary]] = {}
+    iterations = 0
+    for scc_id, component in comps:
+        iterations += engine.solve_component(component)
+        results[scc_id] = {key: engine._summaries[key]
+                           for key in component}
+    return results, iterations
+
+
 def _solve_chunk(payload: bytes) -> bytes:
     """Solve a chunk of independent components in a worker process.
 
@@ -197,19 +541,42 @@ def _solve_chunk(payload: bytes) -> bytes:
     ``analysis.scc`` trees the main process re-parents under the owning
     ``analysis.wave`` span).
     """
-    from repro.analysis.engine import SummaryEngine
-
     comps, bodies, all_keys, callee_summaries = pickle.loads(payload)
     program = Program(functions=_SkeletonFunctions(all_keys, bodies))
     with obs.collecting("executor-worker") as collector:
-        engine = SummaryEngine(program)
-        engine.adopt_summaries(callee_summaries)
-        results: Dict[int, Dict[str, FunctionSummary]] = {}
-        iterations = 0
-        for scc_id, component in comps:
-            iterations += engine.solve_component(component)
-            results[scc_id] = {key: engine._summaries[key]
-                               for key in component}
+        results, iterations = _solve_components(
+            program, comps, callee_summaries)
+    return pickle.dumps(
+        (results, iterations, dict(collector.counters),
+         dict(collector.histograms), list(collector.roots)),
+        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+#: The persistent (fork-server) worker's compiled program, installed
+#: once per worker by the pool initializer.  Tasks then carry only the
+#: component lists and converged callee summaries — the MIR bodies that
+#: dominate the per-task pickle bill under the stateless backend ship
+#: exactly once per worker instead of once per chunk.
+_PERSISTENT_PROGRAM: Optional[Program] = None
+
+
+def _persistent_init(payload: bytes) -> None:
+    global _PERSISTENT_PROGRAM
+    bodies, all_keys = pickle.loads(payload)
+    _PERSISTENT_PROGRAM = Program(
+        functions=_SkeletonFunctions(all_keys, bodies))
+
+
+def _solve_chunk_persistent(payload: bytes) -> bytes:
+    """Persistent-worker task: like :func:`_solve_chunk`, but the
+    program comes from the initializer-installed module global."""
+    comps, callee_summaries = pickle.loads(payload)
+    program = _PERSISTENT_PROGRAM
+    if program is None:          # initializer failed: impossible to solve
+        raise RuntimeError("persistent worker has no program installed")
+    with obs.collecting("executor-worker") as collector:
+        results, iterations = _solve_components(
+            program, comps, callee_summaries)
     return pickle.dumps(
         (results, iterations, dict(collector.counters),
          dict(collector.histograms), list(collector.roots)),
@@ -227,6 +594,11 @@ class AnalysisExecutor:
                  pool=None) -> None:
         self.engine = engine
         self.config = config
+        if config.executor_backend == "persistent":
+            # A persistent pool is program-specific (its initializer
+            # ships this engine's MIR): a session-shared pool cannot be
+            # reused, so the executor always owns one.
+            pool = None
         self._pool = pool          # optionally session-owned, shared
         self._owns_pool = pool is None
         self._pool_broken = False
@@ -236,7 +608,19 @@ class AnalysisExecutor:
     def _ensure_pool(self):
         if self._pool is not None or self._pool_broken:
             return self._pool
-        self._pool = create_pool(self.config.jobs)
+        backend = self.config.executor_backend
+        if backend == "persistent":
+            program = self.engine.program
+            started = perf_counter()
+            payload = pickle.dumps(
+                (dict(program.functions), frozenset(program.functions)),
+                protocol=pickle.HIGHEST_PROTOCOL)
+            _record_pickle_cost(len(payload), perf_counter() - started)
+            self._pool = create_pool(self.config.jobs, backend="persistent",
+                                     initializer=_persistent_init,
+                                     initargs=(payload,))
+        else:
+            self._pool = create_pool(self.config.jobs, backend=backend)
         if self._pool is None:
             self._pool_broken = True
         return self._pool
@@ -253,7 +637,7 @@ class AnalysisExecutor:
                        summary_fps: Dict[str, str]) -> str:
         program = self.engine.program
         h = hashlib.sha256()
-        h.update(f"repro-summary-cache-v{CACHE_FORMAT}"
+        h.update(f"repro-summary-cache-v{SUMMARY_KEY_VERSION}"
                  f":proj{self.engine._MAX_PROJ}\x00".encode())
         for key in sorted(component):
             fp = body_fps.get(key)
@@ -293,26 +677,64 @@ class AnalysisExecutor:
         solved_functions = 0
         cached_functions = 0
 
+        if cache is None and self.config.jobs == 1:
+            # Serial, uncached: the classic bottom-up solve.  Waves add
+            # nothing here (no fan-out to schedule, no cache keys to
+            # batch), so skip the per-wave bookkeeping — measurably
+            # faster on corpora of many small programs.
+            for component in components:
+                total_iterations += engine.solve_component(component)
+                solved_functions += len(component)
+            obs.count("analysis.summaries.iterations", total_iterations)
+            obs.count("analysis.executor.solved_functions",
+                      solved_functions)
+            obs.count("analysis.executor.cached_functions", 0)
+            return
+
         try:
             for wave_index, wave in enumerate(waves):
                 with obs.span("analysis.wave", index=wave_index,
                               sccs=len(wave)):
                     pending: List[Tuple[int, List[str], Optional[str]]] = []
+                    wave_entries: Dict[str, Tuple[Dict[str, FunctionSummary],
+                                                  Dict[str, str]]] = {}
+                    retire = set()
+                    ckeys: Dict[int, str] = {}
+                    found: Dict[str, Dict[str, FunctionSummary]] = {}
+                    fps_map: Dict[str, Dict[str, str]] = {}
+                    migrated = set()
+                    if cache is not None:
+                        for scc_id in wave:
+                            ckeys[scc_id] = self._component_key(
+                                components[scc_id], graph, body_fps,
+                                summary_fps)
+                        # One bulk lookup per wave: typically a single
+                        # index consult + one shard read.
+                        found, fps_map, migrated = cache.get_wave(
+                            sorted(set(ckeys.values())))
                     for scc_id in wave:
                         component = components[scc_id]
-                        ckey = None
+                        ckey = ckeys.get(scc_id)
                         if cache is not None:
-                            ckey = self._component_key(
-                                component, graph, body_fps, summary_fps)
-                            hit = cache.get(ckey)
+                            hit = found.get(ckey)
                             if hit is not None \
                                     and set(hit) == set(component):
                                 obs.count("analysis.cache.hit")
                                 cached_functions += len(component)
                                 engine.adopt_summaries(hit)
-                                for key in component:
-                                    summary_fps[key] = \
-                                        summary_fingerprint(hit[key])
+                                entry_fps = fps_map.get(ckey)
+                                if entry_fps is None or \
+                                        set(entry_fps) != set(component):
+                                    entry_fps = {
+                                        key: summary_fingerprint(hit[key])
+                                        for key in component}
+                                summary_fps.update(entry_fps)
+                                if ckey in migrated:
+                                    # v2 entry: re-shard it so the next
+                                    # warm run reads it with its wave.
+                                    wave_entries[ckey] = (dict(hit),
+                                                          dict(entry_fps))
+                                    retire.add(ckey)
                                 continue
                             obs.count("analysis.cache.miss")
                         pending.append((scc_id, component, ckey))
@@ -327,11 +749,15 @@ class AnalysisExecutor:
                         engine.adopt_summaries(
                             {key: summaries[key] for key in component})
                         if cache is not None:
-                            cache.put(ckey, {key: summaries[key]
-                                             for key in component})
-                            for key in component:
-                                summary_fps[key] = \
-                                    summary_fingerprint(summaries[key])
+                            entry_fps = {
+                                key: summary_fingerprint(summaries[key])
+                                for key in component}
+                            summary_fps.update(entry_fps)
+                            wave_entries[ckey] = (
+                                {key: summaries[key] for key in component},
+                                entry_fps)
+                    if cache is not None and wave_entries:
+                        cache.put_wave(wave_entries, retire=retire)
         finally:
             self._close_pool()
         obs.count("analysis.summaries.iterations", total_iterations)
@@ -355,26 +781,55 @@ class AnalysisExecutor:
             return results, iterations
 
         program = engine.program
-        all_keys = frozenset(program.functions)
+        backend = self.config.executor_backend
         chunks = _chunk(pending, self.config.jobs)
-        futures = []
-        for chunk in chunks:
+
+        def chunk_inputs(chunk):
             comps = [(scc_id, component) for scc_id, component, _ in chunk]
-            bodies = {key: program.functions[key]
-                      for _, component, _ in chunk for key in component}
             callees = set()
             for _, component, _ in chunk:
                 callees |= component_callees(component, graph, program)
             callee_summaries = {key: engine._summaries[key]
                                 for key in sorted(callees)
                                 if key in engine._summaries}
+            return comps, callee_summaries
+
+        if backend == "thread":
+            # Same address space: no payloads to pickle at all.  Each
+            # task still solves on its own engine (mirroring process
+            # isolation) and results merge in component order, so
+            # findings stay byte-identical with every other backend.
+            futures = []
+            for chunk in chunks:
+                comps, callee_summaries = chunk_inputs(chunk)
+                obs.count("executor.tasks")
+                futures.append(pool.submit(
+                    _solve_components, program, comps, callee_summaries))
+            for future in futures:
+                chunk_results, chunk_iterations = future.result()
+                results.update(chunk_results)
+                iterations += chunk_iterations
+            return results, iterations
+
+        all_keys = frozenset(program.functions)
+        futures = []
+        for chunk in chunks:
+            comps, callee_summaries = chunk_inputs(chunk)
+            if backend == "persistent":
+                # MIR already lives in the workers (pool initializer);
+                # ship only the schedule and converged callee facts.
+                task, args = _solve_chunk_persistent, \
+                    (comps, callee_summaries)
+            else:
+                bodies = {key: program.functions[key]
+                          for _, component, _ in chunk for key in component}
+                task, args = _solve_chunk, \
+                    (comps, bodies, all_keys, callee_summaries)
             started = perf_counter()
-            payload = pickle.dumps(
-                (comps, bodies, all_keys, callee_summaries),
-                protocol=pickle.HIGHEST_PROTOCOL)
+            payload = pickle.dumps(args, protocol=pickle.HIGHEST_PROTOCOL)
             _record_pickle_cost(len(payload), perf_counter() - started)
             obs.count("executor.tasks")
-            futures.append(pool.submit(_solve_chunk, payload))
+            futures.append(pool.submit(task, payload))
         for future in futures:
             blob = future.result()
             started = perf_counter()
@@ -432,10 +887,21 @@ def _merge_worker_obs(counters: Dict[str, float], histograms,
     collector.adopt_spans(spans)
 
 
-def create_pool(jobs: int):
-    """A ``ProcessPoolExecutor`` with ``jobs`` workers, or ``None`` when
-    the platform cannot give us one (no fork support, locked-down
-    semaphores, …) — callers degrade to in-process solving."""
+def create_pool(jobs: int, backend: str = "process",
+                initializer=None, initargs=()):
+    """A worker pool for ``backend``, or ``None`` when the platform
+    cannot give us one (no fork support, locked-down semaphores, …) —
+    callers degrade to in-process solving.
+
+    * ``"process"`` — stateless ``ProcessPoolExecutor`` workers.
+    * ``"persistent"`` — same pool class, but ``initializer`` runs once
+      per worker (the fork-server shape: compiled MIR ships once).
+    * ``"thread"`` — ``ThreadPoolExecutor``; always available.
+    """
+    if backend == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+        return ThreadPoolExecutor(max_workers=jobs,
+                                  thread_name_prefix="repro-exec")
     try:
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
@@ -443,12 +909,14 @@ def create_pool(jobs: int):
             context = multiprocessing.get_context("fork")
         except ValueError:           # platform without fork
             context = multiprocessing.get_context()
-        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context,
+                                   initializer=initializer,
+                                   initargs=initargs)
         # Fail fast (and fall back) when process start is forbidden.
         pool.submit(int, 0).result()
         return pool
     except Exception as exc:
-        warnings.warn(f"process pool unavailable ({exc!r}); "
+        warnings.warn(f"{backend} pool unavailable ({exc!r}); "
                       f"running jobs=1 in-process", RuntimeWarning,
                       stacklevel=2)
         obs.count("analysis.executor.pool_unavailable")

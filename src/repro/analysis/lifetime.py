@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.points_to import PointsTo
+from repro.analysis.scan import scan_of
 from repro.hir.builtins import BuiltinOp, FuncKind
 from repro.lang.source import Span
 from repro.mir.cfg import Cfg
@@ -68,7 +69,7 @@ class StorageRanges:
 
 def compute_storage_ranges(body: Body) -> StorageRanges:
     """Forward reachability of storage-liveness per local."""
-    cfg = Cfg(body)
+    cfg = scan_of(body).memo("cfg", lambda: Cfg(body))
     n = len(body.blocks)
     # Block-entry live sets (arguments are live from entry).
     args = frozenset(l.index for l in body.locals if l.is_arg or l.index == 0)
@@ -121,34 +122,12 @@ def resolve_ref_chain(body: Body, local: int,
     """Follow ``temp = &place`` / ``temp = copy other`` chains to the base
     local a reference temp ultimately refers to.
 
-    Returns ``(base_local, projection_path)``.
+    Returns ``(base_local, projection_path)``.  Memoised on the body's
+    scan: the assignment map is built once per body, and repeat queries
+    for the same local (the common case — every deref site, lock
+    receiver and call operand resolves through here) are dict hits.
     """
-    assigns: Dict[int, object] = {}
-    for _bb, _i, stmt in body.iter_statements():
-        if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local:
-            assigns.setdefault(stmt.place.local, stmt.rvalue)
-
-    current = local
-    projection: Tuple = ()
-    for _ in range(max_hops):
-        rv = assigns.get(current)
-        if rv is None:
-            break
-        if rv.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF):
-            projection = tuple(p for p in rv.place.projection
-                               if p.kind == "field") + projection
-            current = rv.place.local
-            continue
-        if rv.kind is RvalueKind.USE and rv.operands[0].place is not None \
-                and rv.operands[0].place.is_local:
-            current = rv.operands[0].place.local
-            continue
-        if rv.kind is RvalueKind.CAST and rv.operands[0].place is not None \
-                and rv.operands[0].place.is_local:
-            current = rv.operands[0].place.local
-            continue
-        break
-    return current, projection
+    return scan_of(body).ref_chain(local, max_hops)
 
 
 def lock_identity(body: Body, pt: PointsTo, receiver_temp: int) -> FrozenSet:
@@ -249,20 +228,25 @@ def _guardish_ty(ty) -> bool:
 
 
 def _guard_chain(body: Body, seed: int) -> Set[int]:
-    """Locals through which the guard value may flow (unwrap / moves)."""
-    ref_map: Dict[int, int] = {}
-    for _bb, _i, stmt in body.iter_statements():
-        if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
-                and stmt.rvalue is not None \
-                and stmt.rvalue.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF) \
-                and stmt.rvalue.place.is_local:
-            ref_map[stmt.place.local] = stmt.rvalue.place.local
+    """Locals through which the guard value may flow (unwrap / moves).
+    Memoised per ``(body, seed)`` on the body's scan — the same guard
+    chains are re-requested on every summarise iteration."""
+    scan = scan_of(body)
+    key = ("guard_chain", seed)
+    cached = scan.cache.get(key)
+    if cached is None:
+        cached = scan.cache[key] = frozenset(_compute_guard_chain(scan, seed))
+    return set(cached)
 
+
+def _compute_guard_chain(scan, seed: int) -> Set[int]:
+    body = scan.body
+    ref_map = scan.ref_map
     chain = {seed}
     changed = True
     while changed:
         changed = False
-        for _bb, _i, stmt in body.iter_statements():
+        for _bb, _i, stmt in scan.statements:
             if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
                     and stmt.rvalue is not None \
                     and stmt.rvalue.kind is RvalueKind.USE:
@@ -277,9 +261,7 @@ def _guard_chain(body: Body, seed: int) -> Set[int]:
                         and _guardish_ty(body.local_ty(stmt.place.local)):
                     chain.add(stmt.place.local)
                     changed = True
-        for _bb, term in body.iter_terminators():
-            if term.kind is not TerminatorKind.CALL or term.func is None:
-                continue
+        for _bb, term in scan.calls:
             if term.func.builtin_op in _EXTRACT_OPS and term.args:
                 arg = term.args[0]
                 if arg.place is not None and arg.place.is_local:
@@ -307,12 +289,11 @@ def compute_guard_regions(body: Body, pt: Optional[PointsTo] = None,
     from repro.analysis.points_to import compute_points_to
     if pt is None:
         pt = compute_points_to(body)
-    cfg = Cfg(body)
+    scan = scan_of(body)
+    cfg = scan.memo("cfg", lambda: Cfg(body))
     regions: List[GuardRegion] = []
 
-    for bb, term in body.iter_terminators():
-        if term.kind is not TerminatorKind.CALL or term.func is None:
-            continue
+    for bb, term in scan.calls:
         op = term.func.builtin_op
         is_try = op in TRY_ACQUIRE_OPS
         if op in LOCK_ACQUIRE_OPS or (include_try and is_try):
@@ -367,13 +348,7 @@ def _propagate_region(body: Body, cfg: Cfg, region: GuardRegion,
     entry: Dict[int, Set[int]] = {start_block:
                                   {acquire_term.destination.local}}
     worklist = deque([start_block])
-    ref_map: Dict[int, int] = {}
-    for _bb, _i, stmt in body.iter_statements():
-        if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
-                and stmt.rvalue is not None \
-                and stmt.rvalue.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF) \
-                and stmt.rvalue.place.is_local:
-            ref_map[stmt.place.local] = stmt.rvalue.place.local
+    ref_map = scan_of(body).ref_map
 
     visited_with: Dict[int, Set[int]] = {}
     while worklist:

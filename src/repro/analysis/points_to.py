@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
+from repro.analysis.scan import scan_of
 from repro.hir.builtins import BuiltinOp, FuncKind
 from repro.mir.nodes import (
     Body, Operand, Place, RvalueKind, StatementKind, TerminatorKind,
@@ -62,7 +63,7 @@ _ALLOC_OPS = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class PointsTo:
     """Result: ``points_to[local]`` is a set of targets."""
 
@@ -84,6 +85,115 @@ class PointsTo:
         return bool(ta & tb)
 
 
+class _PtSkeleton:
+    """The return-summary-independent constraint system of one body,
+    built once and cached on the body's scan.  ``compute_points_to``
+    runs on every worklist iteration of the owning SCC; everything that
+    does not depend on callee return summaries — seed targets, copy /
+    load / store edges — is identical across those runs, so re-deriving
+    it from the statement list each time was pure overhead."""
+
+    __slots__ = ("seeds", "copies", "loads", "stores", "user_calls")
+
+    def __init__(self, body: Body) -> None:
+        seeds: list = []       # (local, target) ensured before the fixpoint
+        copies: Set[Tuple[int, int]] = set()     # dst ⊇ src
+        loads: Set[Tuple[int, int]] = set()      # dst ⊇ *src
+        stores: Set[Tuple[int, int]] = set()     # *dst ⊇ src
+        #: (dst, callee key, operand locals, heap site id) — the only
+        #: constraints whose expansion needs the live return summaries.
+        user_calls: list = []
+
+        def operand_local(op: Operand) -> Optional[int]:
+            if op.place is not None:
+                return op.place.local
+            return None
+
+        scan = scan_of(body)
+        for bb, idx, stmt in scan.statements:
+            if stmt.kind is not StatementKind.ASSIGN or stmt.rvalue is None:
+                continue
+            dest = stmt.place
+            rv = stmt.rvalue
+            if dest.has_deref:
+                # *p = src : store constraint
+                if rv.kind is RvalueKind.USE:
+                    src = operand_local(rv.operands[0])
+                    if src is not None:
+                        stores.add((dest.local, src))
+                continue
+            dst = dest.local
+            if rv.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF):
+                seeds.append((dst, ("local", rv.place.local)))
+                base_name = body.locals[rv.place.local].name or ""
+                if base_name.startswith("static:"):
+                    seeds.append((dst, ("static", base_name[7:])))
+            elif rv.kind is RvalueKind.USE:
+                op = rv.operands[0]
+                src = operand_local(op)
+                if src is not None:
+                    if op.place.has_deref:
+                        loads.add((dst, src))
+                    else:
+                        copies.add((dst, src))
+            elif rv.kind is RvalueKind.CAST:
+                src = operand_local(rv.operands[0])
+                if src is not None:
+                    copies.add((dst, src))
+            elif rv.kind is RvalueKind.AGGREGATE:
+                # Field-insensitive: aggregate inherits pointees of
+                # components.
+                for op in rv.operands:
+                    src = operand_local(op)
+                    if src is not None:
+                        copies.add((dst, src))
+
+        for bb, term in scan.terminators:
+            if term.kind is not TerminatorKind.CALL:
+                continue
+            if term.destination is None or not term.destination.is_local:
+                continue
+            dst = term.destination.local
+            func = term.func
+            if func is None:
+                continue
+            op = func.builtin_op
+            if op in (BuiltinOp.PTR_NULL, BuiltinOp.PTR_NULL_MUT):
+                seeds.append((dst, NULL_TARGET))
+            elif op in _ALLOC_OPS:
+                seeds.append((dst, ("heap", f"{body.key}:{bb}")))
+            elif op in _INTO_RECEIVER_OPS and term.args:
+                # Receiver is a ref temp → one deref gives the container
+                # local.
+                recv = operand_local(term.args[0])
+                if recv is not None:
+                    loads.add((dst, recv))
+            elif op in _POINTER_TRANSFER_OPS and term.args:
+                recv = operand_local(term.args[0])
+                if recv is not None:
+                    loads.add((dst, recv))
+            elif op in (BuiltinOp.UNWRAP, BuiltinOp.EXPECT,
+                        BuiltinOp.PTR_READ, BuiltinOp.MEM_REPLACE,
+                        BuiltinOp.TAKE) and term.args:
+                recv = operand_local(term.args[0])
+                if recv is not None:
+                    loads.add((dst, recv))
+                    copies.add((dst, recv))
+            elif func.kind in (FuncKind.USER, FuncKind.CLOSURE):
+                user_calls.append(
+                    (dst, func.user_fn,
+                     tuple(operand_local(a) for a in term.args),
+                     f"{body.key}:{bb}"))
+            elif func.kind is FuncKind.UNKNOWN:
+                seeds.append((dst, UNKNOWN_TARGET))
+
+        self.seeds = tuple(seeds)
+        self.copies = frozenset(copies)
+        self.loads = tuple(loads)
+        self.stores = tuple(stores)
+        self.user_calls = tuple(user_calls)
+
+
 def compute_points_to(body: Body,
                       return_summaries: Optional[Dict[str, Set[int]]] = None
                       ) -> PointsTo:
@@ -94,6 +204,8 @@ def compute_points_to(body: Body,
     inter-procedural summary that lets ``p = b.as_ptr()`` alias ``b``
     across a call boundary (needed for the paper's Figure 7 bug).
     """
+    skeleton = scan_of(body).memo("pt_skeleton",
+                                  lambda: _PtSkeleton(body))
     result = PointsTo(body)
     pt = result.points_to
 
@@ -105,103 +217,28 @@ def compute_points_to(body: Body,
     # along) stay identifiable as "aliases caller argument i".
     for position in range(body.arg_count):
         ensure(position + 1).add(("argval", position))
+    for local, target in skeleton.seeds:
+        ensure(local).add(target)
 
-    # Constraint lists.
-    copies: Set[Tuple[int, int]] = set()     # dst ⊇ src
-    loads: Set[Tuple[int, int]] = set()      # dst ⊇ *src
-    stores: Set[Tuple[int, int]] = set()     # *dst ⊇ src
-
-    def operand_local(op: Operand) -> Optional[int]:
-        if op.place is not None:
-            return op.place.local
-        return None
-
-    for bb, idx, stmt in body.iter_statements():
-        if stmt.kind is not StatementKind.ASSIGN or stmt.rvalue is None:
-            continue
-        dest = stmt.place
-        rv = stmt.rvalue
-        if dest.has_deref:
-            # *p = src : store constraint
-            if rv.kind is RvalueKind.USE:
-                src = operand_local(rv.operands[0])
-                if src is not None:
-                    stores.add((dest.local, src))
-            continue
-        dst = dest.local
-        if rv.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF):
-            ensure(dst).add(("local", rv.place.local))
-            base_name = body.locals[rv.place.local].name or ""
-            if base_name.startswith("static:"):
-                ensure(dst).add(("static", base_name[7:]))
-        elif rv.kind is RvalueKind.USE:
-            op = rv.operands[0]
-            src = operand_local(op)
-            if src is not None:
-                if op.place.has_deref:
-                    loads.add((dst, src))
-                else:
-                    copies.add((dst, src))
-        elif rv.kind is RvalueKind.CAST:
-            src = operand_local(rv.operands[0])
-            if src is not None:
-                copies.add((dst, src))
-        elif rv.kind is RvalueKind.AGGREGATE:
-            # Field-insensitive: aggregate inherits pointees of components.
-            for op in rv.operands:
-                src = operand_local(op)
-                if src is not None:
-                    copies.add((dst, src))
-
-    site_counter = 0
-    for bb, term in body.iter_terminators():
-        if term.kind is not TerminatorKind.CALL:
-            continue
-        site_counter += 1
-        if term.destination is None or not term.destination.is_local:
-            continue
-        dst = term.destination.local
-        func = term.func
-        if func is None:
-            continue
-        op = func.builtin_op
-        if op in (BuiltinOp.PTR_NULL, BuiltinOp.PTR_NULL_MUT):
-            ensure(dst).add(NULL_TARGET)
-        elif op in _ALLOC_OPS:
-            ensure(dst).add(("heap", f"{body.key}:{bb}"))
-        elif op in _INTO_RECEIVER_OPS and term.args:
-            # Receiver is a ref temp → one deref gives the container local.
-            recv = operand_local(term.args[0])
-            if recv is not None:
-                loads.add((dst, recv))
-        elif op in _POINTER_TRANSFER_OPS and term.args:
-            recv = operand_local(term.args[0])
-            if recv is not None:
-                loads.add((dst, recv))
-        elif op in (BuiltinOp.UNWRAP, BuiltinOp.EXPECT, BuiltinOp.PTR_READ,
-                    BuiltinOp.MEM_REPLACE, BuiltinOp.TAKE) and term.args:
-            recv = operand_local(term.args[0])
-            if recv is not None:
-                loads.add((dst, recv))
-                copies.add((dst, recv))
-        elif func.kind in (FuncKind.USER, FuncKind.CLOSURE) \
-                and return_summaries:
-            items = return_summaries.get(func.user_fn) or set()
+    copies: Set[Tuple[int, int]] = set(skeleton.copies)
+    loads = skeleton.loads
+    stores = skeleton.stores
+    if return_summaries:
+        for dst, callee, arg_locals, heap_site in skeleton.user_calls:
+            items = return_summaries.get(callee) or set()
             for item in items:
                 if item == "null":
                     ensure(dst).add(NULL_TARGET)
                 elif item == "heap":
-                    # The callee returns a fresh allocation; model it as an
-                    # allocation made at this call site.
-                    ensure(dst).add(("heap", f"{body.key}:{bb}"))
+                    # The callee returns a fresh allocation; model it as
+                    # an allocation made at this call site.
+                    ensure(dst).add(("heap", heap_site))
                 elif item == "unknown":
                     ensure(dst).add(UNKNOWN_TARGET)
-                elif isinstance(item, int) and item < len(term.args):
-                    src = operand_local(term.args[item])
+                elif isinstance(item, int) and item < len(arg_locals):
+                    src = arg_locals[item]
                     if src is not None:
                         copies.add((dst, src))
-        elif func.kind is FuncKind.UNKNOWN:
-            ensure(dst).add(UNKNOWN_TARGET)
 
     # Fixpoint.
     changed = True

@@ -68,8 +68,8 @@ import hashlib
 from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.analysis.lifetime import resolve_ref_chain
-from repro.analysis.unsafe_prop import UnsafeProvenance
+from repro.analysis.scan import scan_of
+from repro.analysis.unsafe_prop import UnsafeProvenance, restore_slots_state
 from repro.hir.builtins import BuiltinOp
 from repro.lang.source import Span
 from repro.mir.nodes import Body, RvalueKind, StatementKind, TerminatorKind
@@ -86,9 +86,15 @@ EffectHop = Tuple[str, int]
 AccessKey = Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionSummary:
-    """Composable interprocedural facts about one function."""
+    """Composable interprocedural facts about one function.
+
+    ``slots=True``: summaries are the densest objects the solve
+    allocates (one per function per worklist iteration) — slots drop the
+    per-instance dict and make field access / equality comparison during
+    the worklist's change check measurably cheaper.
+    """
 
     key: str
     returns: FrozenSet = frozenset()
@@ -115,24 +121,33 @@ class FunctionSummary:
     def lock_kinds(self) -> Set[str]:
         return {lock[3] for lock in self.locks}
 
+    def __setstate__(self, state):
+        restore_slots_state(self, state)
+
+
+_EXTRACT_OPS = frozenset({BuiltinOp.UNWRAP, BuiltinOp.EXPECT,
+                          BuiltinOp.TAKE, BuiltinOp.OK_METHOD})
+
 
 def value_chain(body: Body, seed: int) -> Set[int]:
     """Locals the value initially in ``seed`` may flow through (moves and
-    unwrap-style extractions)."""
-    ref_map: Dict[int, int] = {}
-    for _bb, _i, stmt in body.iter_statements():
-        if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
-                and stmt.rvalue is not None \
-                and stmt.rvalue.kind in (RvalueKind.REF, RvalueKind.ADDRESS_OF) \
-                and stmt.rvalue.place.is_local:
-            ref_map[stmt.place.local] = stmt.rvalue.place.local
+    unwrap-style extractions).  Memoised per seed on the body's scan —
+    the may-drop loop re-requests the same chains every iteration."""
+    scan = scan_of(body)
+    key = ("value_chain", seed)
+    cached = scan.cache.get(key)
+    if cached is None:
+        cached = scan.cache[key] = frozenset(_compute_value_chain(scan, seed))
+    return set(cached)
+
+
+def _compute_value_chain(scan, seed: int) -> Set[int]:
+    ref_map = scan.ref_map
     chain = {seed}
     changed = True
-    extract_ops = {BuiltinOp.UNWRAP, BuiltinOp.EXPECT, BuiltinOp.TAKE,
-                   BuiltinOp.OK_METHOD}
     while changed:
         changed = False
-        for _bb, _i, stmt in body.iter_statements():
+        for _bb, _i, stmt in scan.statements:
             if stmt.kind is StatementKind.ASSIGN and stmt.place.is_local \
                     and stmt.rvalue is not None \
                     and stmt.rvalue.kind is RvalueKind.USE:
@@ -143,10 +158,8 @@ def value_chain(body: Body, seed: int) -> Set[int]:
                         and not op.place.projection:
                     chain.add(stmt.place.local)
                     changed = True
-        for _bb, term in body.iter_terminators():
-            if term.kind is not TerminatorKind.CALL or term.func is None:
-                continue
-            if term.func.builtin_op in extract_ops and term.args:
+        for _bb, term in scan.calls:
+            if term.func.builtin_op in _EXTRACT_OPS and term.args:
                 arg = term.args[0]
                 if arg.place is not None and arg.place.is_local:
                     src = ref_map.get(arg.place.local, arg.place.local)
@@ -161,25 +174,33 @@ def value_chain(body: Body, seed: int) -> Set[int]:
 def owned_value_args(body: Body) -> List[int]:
     """Argument positions (0-based) passed by value whose type runs drop
     glue — the candidates for may-drop / escape facts."""
-    positions = []
-    for position in range(body.arg_count):
-        ty = body.local_ty(position + 1)
-        if ty.needs_drop and not ty.is_pointer_like:
-            positions.append(position)
-    return positions
+
+    def compute() -> Tuple[int, ...]:
+        return tuple(
+            position for position in range(body.arg_count)
+            if body.local_ty(position + 1).needs_drop
+            and not body.local_ty(position + 1).is_pointer_like)
+
+    return list(scan_of(body).memo("owned_value_args", compute))
 
 
 def term_arg_sources(body: Body, term) -> List[Optional[int]]:
     """For each call operand: the caller argument position it carries
-    (following reference/copy chains), or None."""
-    sources: List[Optional[int]] = []
-    for arg in term.args:
-        if arg.place is None:
-            sources.append(None)
-            continue
-        base, _proj = resolve_ref_chain(body, arg.place.local)
-        sources.append(base - 1 if 0 < base <= body.arg_count else None)
-    return sources
+    (following reference/copy chains), or None.  Memoised per call
+    terminator on the body's scan."""
+    scan = scan_of(body)
+    key = ("arg_sources", id(term))
+    cached = scan.cache.get(key)
+    if cached is None:
+        sources: List[Optional[int]] = []
+        for arg in term.args:
+            if arg.place is None:
+                sources.append(None)
+                continue
+            base, _proj = scan.ref_chain(arg.place.local)
+            sources.append(base - 1 if 0 < base <= body.arg_count else None)
+        cached = scan.cache[key] = tuple(sources)
+    return list(cached)
 
 
 def translate_lock(lock: LockId,
@@ -212,14 +233,24 @@ def deref_access_sites(body: Body) -> List[Tuple]:
     ``*p = v`` with ``p = &x.f as *mut _`` reports base ``x`` with
     projection ``("f",)``.  Taking an address (``&place``) is not an
     access; atomics go through their own builtin calls and are excluded —
-    they synchronise by construction."""
+    they synchronise by construction.
+
+    Cached on the body's scan: the site list only depends on the body
+    text, and the shared-access summariser re-reads it every worklist
+    iteration."""
+    return scan_of(body).memo(
+        "deref_sites", lambda: _compute_deref_sites(body))
+
+
+def _compute_deref_sites(body: Body) -> List[Tuple]:
+    scan = scan_of(body)
     sites: List[Tuple] = []
-    for bb, i, stmt in body.iter_statements():
+    for bb, i, stmt in scan.statements:
         if stmt.kind is not StatementKind.ASSIGN:
             continue
         point = (bb, i)
         if stmt.place.has_deref:
-            base, proj = resolve_ref_chain(body, stmt.place.local)
+            base, proj = scan.ref_chain(stmt.place.local)
             combined = _fields_of(proj) + _fields_of(stmt.place.projection)
             sites.append((point, base, combined, True, stmt.span))
         rv = stmt.rvalue
@@ -227,19 +258,17 @@ def deref_access_sites(body: Body) -> List[Tuple]:
             continue
         for op in rv.operands:
             if op.place is not None and op.place.has_deref:
-                base, proj = resolve_ref_chain(body, op.place.local)
+                base, proj = scan.ref_chain(op.place.local)
                 combined = _fields_of(proj) + _fields_of(op.place.projection)
                 sites.append((point, base, combined, False, stmt.span))
-    for bb, term in body.iter_terminators():
-        if term.kind is not TerminatorKind.CALL or term.func is None:
-            continue
+    for bb, term in scan.calls:
         op = term.func.builtin_op
         if op not in (BuiltinOp.PTR_READ, BuiltinOp.PTR_WRITE):
             continue
         if not term.args or term.args[0].place is None:
             continue
         point = (bb, len(body.blocks[bb].statements))
-        base, proj = resolve_ref_chain(body, term.args[0].place.local)
+        base, proj = scan.ref_chain(term.args[0].place.local)
         sites.append((point, base, _fields_of(proj),
                       op is BuiltinOp.PTR_WRITE, term.span))
     return sites

@@ -44,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.analysis.lifetime import resolve_ref_chain
+from repro.analysis.scan import scan_of
 from repro.hir.builtins import BuiltinOp, FuncKind
 from repro.lang.source import Span
 from repro.lang.types import TyKind
@@ -86,7 +86,25 @@ _TAINT_FLOW = {RvalueKind.USE, RvalueKind.CAST, RvalueKind.BINARY,
 _TAINT_FLOW_CALLS = {BuiltinOp.PTR_IS_NULL}
 
 
-@dataclass
+def restore_slots_state(obj, state) -> None:
+    """``__setstate__`` body shared by the slotted summary dataclasses.
+
+    Accepts both state shapes a pickle may carry: the ``(dict,
+    slots_dict)`` pair the slotted classes produce, and the plain
+    ``__dict__`` older (pre-slots) releases wrote into the on-disk
+    summary cache — those entries stay loadable instead of being
+    treated as corrupt and re-solved.
+    """
+    if isinstance(state, tuple):
+        plain, slotted = state
+        merged = dict(plain or {})
+        merged.update(slotted or {})
+        state = merged
+    for name, value in state.items():
+        object.__setattr__(obj, name, value)
+
+
+@dataclass(slots=True)
 class UnsafeProvenance:
     """The unsafe-provenance component of a function summary.
 
@@ -123,6 +141,16 @@ class UnsafeProvenance:
                     or self.delegated_args or self.returns_unsafe_ptr
                     or self.unsafe_sites)
 
+    def __setstate__(self, state):
+        restore_slots_state(self, state)
+
+
+#: Shared bottom element served for the common case (a body with no
+#: unsafe code whose callees all have bottom provenance) — nothing ever
+#: mutates a provenance after construction, so sharing is safe and keeps
+#: the solve from allocating ~400 identical empty components per program.
+_BOTTOM = UnsafeProvenance()
+
 
 def _int_like(ty) -> bool:
     return ty.kind is TyKind.INT
@@ -142,7 +170,13 @@ def taint_seeds(body: Body) -> Dict[int, FrozenSet[int]]:
 def arg_taint(body: Body) -> Dict[int, FrozenSet[int]]:
     """Which argument positions each local may carry (data-flow closure
     of :func:`taint_seeds` over copies, casts, arithmetic and the pure
-    builtins in :data:`_TAINT_FLOW_CALLS`)."""
+    builtins in :data:`_TAINT_FLOW_CALLS`).  Cached on the body's scan —
+    taint only depends on the body text."""
+    return scan_of(body).memo("arg_taint", lambda: _compute_arg_taint(body))
+
+
+def _compute_arg_taint(body: Body) -> Dict[int, FrozenSet[int]]:
+    scan = scan_of(body)
     taint: Dict[int, Set[int]] = {l: set(s)
                                   for l, s in taint_seeds(body).items()}
     if not taint:
@@ -158,7 +192,7 @@ def arg_taint(body: Body) -> Dict[int, FrozenSet[int]]:
     changed = True
     while changed:
         changed = False
-        for _bb, _i, stmt in body.iter_statements():
+        for _bb, _i, stmt in scan.statements:
             if stmt.kind is not StatementKind.ASSIGN \
                     or not stmt.place.is_local or stmt.rvalue is None \
                     or stmt.rvalue.kind not in _TAINT_FLOW:
@@ -171,9 +205,8 @@ def arg_taint(body: Body) -> Dict[int, FrozenSet[int]]:
                 incoming |= taint.get(stmt.rvalue.place.local, set())
             if incoming and flow_into(stmt.place.local, incoming):
                 changed = True
-        for _bb, term in body.iter_terminators():
-            if term.kind is not TerminatorKind.CALL or term.func is None \
-                    or term.func.builtin_op not in _TAINT_FLOW_CALLS \
+        for _bb, term in scan.calls:
+            if term.func.builtin_op not in _TAINT_FLOW_CALLS \
                     or term.destination is None \
                     or not term.destination.is_local:
                 continue
@@ -193,7 +226,7 @@ def guard_blocks(body: Body,
     argument (argument position → guard block indices).  These are the
     null/bounds/tag checks of the paper's "checked" encapsulations."""
     guards: Dict[int, Set[int]] = {}
-    for bb, term in body.iter_terminators():
+    for bb, term in scan_of(body).terminators:
         operand = None
         if term.kind is TerminatorKind.SWITCH_INT:
             operand = term.discr
@@ -221,12 +254,13 @@ def direct_arg_sinks(body: Body,
     sinks: List[Tuple] = []
     if not taint:
         return sinks
+    scan = scan_of(body)
 
     def taints_of(local: int) -> FrozenSet[int]:
-        base, _proj = resolve_ref_chain(body, local)
+        base, _proj = scan.ref_chain(local)
         return taint.get(local, frozenset()) | taint.get(base, frozenset())
 
-    for bb, _i, stmt in body.iter_statements():
+    for bb, _i, stmt in scan.statements:
         if not stmt.in_unsafe or stmt.kind is not StatementKind.ASSIGN:
             continue
         places = []
@@ -238,16 +272,15 @@ def direct_arg_sinks(body: Body,
             places.extend(op.place for op in rv.operands
                           if op.place is not None and op.place.has_deref)
         for place in places:
-            base, _proj = resolve_ref_chain(body, place.local)
+            base, _proj = scan.ref_chain(place.local)
             if not (body.local_ty(place.local).is_raw_ptr
                     or body.local_ty(base).is_raw_ptr):
                 continue          # deref of a safe reference
             for position in sorted(taints_of(place.local)):
                 sinks.append((position, "deref", bb, stmt.span))
 
-    for bb, term in body.iter_terminators():
-        if not term.in_unsafe or term.kind is not TerminatorKind.CALL \
-                or term.func is None:
+    for bb, term in scan.calls:
+        if not term.in_unsafe:
             continue
         for kind, index in UNSAFE_SINK_OPS.get(term.func.builtin_op, ()):
             if index >= len(term.args) or term.args[index].place is None:
@@ -262,9 +295,9 @@ def delegation_sites(body: Body) -> List[Tuple[int, int, Span]]:
     ``unsafe fn`` / FFI / unresolved callee:
     ``(position, block, span)``."""
     out: List[Tuple[int, int, Span]] = []
-    for bb, term in body.iter_terminators():
-        if not term.in_unsafe or term.kind is not TerminatorKind.CALL \
-                or term.func is None:
+    scan = scan_of(body)
+    for bb, term in scan.calls:
+        if not term.in_unsafe:
             continue
         func = term.func
         unsafe_callee = func.is_unsafe \
@@ -275,10 +308,53 @@ def delegation_sites(body: Body) -> List[Tuple[int, int, Span]]:
         for arg in term.args:
             if arg.place is None:
                 continue
-            base, _proj = resolve_ref_chain(body, arg.place.local)
+            base, _proj = scan.ref_chain(arg.place.local)
             if 0 < base <= body.arg_count:
                 out.append((base - 1, bb, term.span))
     return out
+
+
+def _born_skeleton(body: Body) -> Tuple:
+    """Body-only half of :func:`unsafe_born_locals`, cached on the scan:
+    ``(mints, copy_edges, call_edges)`` — the locals minted unsafe in
+    this body, the copy/cast flow edges the provenance travels along,
+    and the ``(dest, callee key)`` call results whose unsafety depends
+    on callee summaries."""
+
+    def compute() -> Tuple:
+        scan = scan_of(body)
+        mints: Set[int] = set()
+        copy_edges: List[Tuple[int, Tuple[int, ...]]] = []
+        call_edges: List[Tuple[int, str]] = []
+        for _bb, _i, stmt in scan.statements:
+            if stmt.kind is not StatementKind.ASSIGN \
+                    or not stmt.place.is_local or stmt.rvalue is None:
+                continue
+            dest = stmt.place.local
+            rv = stmt.rvalue
+            if stmt.in_unsafe and rv.kind is RvalueKind.CAST \
+                    and rv.cast_kind in _RAW_MINT_CASTS \
+                    and rv.cast_ty.is_raw_ptr:
+                mints.add(dest)
+            elif rv.kind in (RvalueKind.USE, RvalueKind.CAST):
+                sources = tuple(op.place.local for op in rv.operands
+                                if op.place is not None)
+                if sources:
+                    copy_edges.append((dest, sources))
+        for _bb, term in scan.calls:
+            if term.destination is None or not term.destination.is_local:
+                continue
+            dest = term.destination.local
+            func = term.func
+            if term.in_unsafe and func.builtin_op is not None \
+                    and func.is_unsafe \
+                    and body.local_ty(dest).is_raw_ptr:
+                mints.add(dest)
+            elif func.kind in (FuncKind.USER, FuncKind.CLOSURE):
+                call_edges.append((dest, func.user_fn))
+        return frozenset(mints), tuple(copy_edges), tuple(call_edges)
+
+    return scan_of(body).memo("born_skeleton", compute)
 
 
 def unsafe_born_locals(body: Body, summaries=None) -> Set[int]:
@@ -287,60 +363,38 @@ def unsafe_born_locals(body: Body, summaries=None) -> Set[int]:
     an unsafe builtin, or returned by a callee whose summary says so.
     Propagates through copies and further casts (a later safe-context
     cast does not launder the provenance)."""
-    born: Set[int] = set()
+    mints, copy_edges, call_edges = _born_skeleton(body)
+    born: Set[int] = set(mints)
+    if summaries is not None:
+        for dest, callee in call_edges:
+            callee_summary = summaries.get(callee)
+            if callee_summary is not None and \
+                    callee_summary.unsafe_provenance.returns_unsafe_ptr:
+                born.add(dest)
+    if not born:
+        return born
     changed = True
     while changed:
         changed = False
-        for _bb, _i, stmt in body.iter_statements():
-            if stmt.kind is not StatementKind.ASSIGN \
-                    or not stmt.place.is_local or stmt.rvalue is None:
-                continue
-            dest = stmt.place.local
-            if dest in born:
-                continue
-            rv = stmt.rvalue
-            if stmt.in_unsafe and rv.kind is RvalueKind.CAST \
-                    and rv.cast_kind in _RAW_MINT_CASTS \
-                    and rv.cast_ty.is_raw_ptr:
+        for dest, sources in copy_edges:
+            if dest not in born and any(s in born for s in sources):
                 born.add(dest)
                 changed = True
-            elif rv.kind in (RvalueKind.USE, RvalueKind.CAST) \
-                    and any(op.place is not None
-                            and op.place.local in born
-                            for op in rv.operands):
-                born.add(dest)
-                changed = True
-        for _bb, term in body.iter_terminators():
-            if term.kind is not TerminatorKind.CALL or term.func is None \
-                    or term.destination is None \
-                    or not term.destination.is_local:
-                continue
-            dest = term.destination.local
-            if dest in born:
-                continue
-            func = term.func
-            if term.in_unsafe and func.builtin_op is not None \
-                    and func.is_unsafe \
-                    and body.local_ty(dest).is_raw_ptr:
-                born.add(dest)
-                changed = True
-            elif func.kind in (FuncKind.USER, FuncKind.CLOSURE) \
-                    and summaries is not None:
-                callee_summary = summaries.get(func.user_fn)
-                if callee_summary is not None and \
-                        callee_summary.unsafe_provenance.returns_unsafe_ptr:
-                    born.add(dest)
-                    changed = True
     return born
 
 
 def count_unsafe_sites(body: Body) -> int:
     """Direct MIR statements/terminators lowered from an unsafe region."""
-    count = sum(1 for _bb, _i, stmt in body.iter_statements()
-                if stmt.in_unsafe)
-    count += sum(1 for _bb, term in body.iter_terminators()
-                 if term.in_unsafe)
-    return count
+
+    def compute() -> int:
+        scan = scan_of(body)
+        count = sum(1 for _bb, _i, stmt in scan.statements
+                    if stmt.in_unsafe)
+        count += sum(1 for _bb, term in scan.terminators
+                     if term.in_unsafe)
+        return count
+
+    return scan_of(body).memo("unsafe_sites", compute)
 
 
 def compute_unsafe_provenance(body: Body, summaries,
@@ -352,20 +406,38 @@ def compute_unsafe_provenance(body: Body, summaries,
     Composition only grows as callee summaries grow — monotone, so the
     SCC worklist converges.
     """
+    # Fast path for the dominant case: a body with no unsafe code whose
+    # callees all have bottom provenance can only produce the bottom
+    # element (sinks/delegations need ``in_unsafe`` sites, composed
+    # facts need a non-bottom callee) — skip taint/guard/birth analysis.
+    if not scan_of(body).has_unsafe:
+        for _block, _term, callee, _sources in user_sites:
+            callee_summary = summaries.get(callee)
+            if callee_summary is not None \
+                    and not callee_summary.unsafe_provenance.is_bottom:
+                break
+        else:
+            return _BOTTOM
+
     taint = arg_taint(body)
-    guards = guard_blocks(body, taint)
+    guards = scan_of(body).memo(
+        "guard_blocks", lambda: guard_blocks(body, taint))
 
     arg_sinks: Dict[int, Tuple[str, Optional[ProvenanceHop], Span]] = {}
     guarded: Set[int] = set()
     delegated: Set[int] = set()
 
-    for position, kind, block, span in direct_arg_sinks(body, taint):
+    direct_sinks = scan_of(body).memo(
+        "direct_sinks", lambda: direct_arg_sinks(body, taint))
+    delegations = scan_of(body).memo(
+        "delegations", lambda: delegation_sites(body))
+    for position, kind, block, span in direct_sinks:
         if _dominated(guards, position, block):
             guarded.add(position)
         else:
             arg_sinks.setdefault(position, (kind, None, span))
 
-    for position, block, _span in delegation_sites(body):
+    for position, block, _span in delegations:
         if _dominated(guards, position, block):
             guarded.add(position)
         else:

@@ -144,6 +144,18 @@ def _analyze_task(payload: bytes) -> bytes:
         protocol=pickle.HIGHEST_PROTOCOL)
 
 
+def _analyze_source_inproc(name: str, text: str, config: AnalysisConfig):
+    """Thread-backend whole-file task: same work as :func:`_analyze_task`
+    but in the session's address space — nothing pickled, and metrics
+    land directly in the installed (thread-safe) collector instead of
+    riding back in a payload."""
+    from repro.detectors.registry import run_detectors
+    compiled = compile_source(
+        text, name=name, emit_bounds_checks=config.emit_bounds_checks)
+    return run_detectors(compiled.program, source=compiled.source,
+                         config=config)
+
+
 class AnalysisSession:
     """One validated config + one reusable executor runtime.
 
@@ -187,8 +199,20 @@ class AnalysisSession:
                 and self.config.jobs > 1:
             from repro.analysis.executor import create_pool
             self._pool_attempted = True
-            self._pool = create_pool(self.config.jobs)
+            # Whole-file fan-out has no single compiled program to ship,
+            # so the persistent backend behaves like "process" here; the
+            # wave-level executor builds its own initialised pool.
+            backend = "thread" \
+                if self.config.executor_backend == "thread" else "process"
+            self._pool = create_pool(self.config.jobs, backend=backend)
         return self._pool
+
+    def _report_cache(self):
+        if self.config.caching_enabled and self.config.report_cache:
+            from repro.analysis.executor import ReportCache
+            return ReportCache(os.path.join(self.config.cache_dir,
+                                            "reports"))
+        return None
 
     # -- analysis entry points ----------------------------------------------
 
@@ -224,38 +248,78 @@ class AnalysisSession:
         """Analyze many independent programs, fanning whole programs out
         across the worker pool (the corpus/service shape).
 
-        Each worker compiles and analyzes one program with an in-process
-        engine (no nested pools) but shares the summary cache directory.
-        Results arrive in input order; worker obs counters fold into the
-        installed collector.
+        With ``config.cache_dir`` set, the whole-file report tier is
+        consulted first: an unchanged ``(name, text)`` pair under the
+        same config serves its finished report without compiling at
+        all.  Only the misses fan out.  Each worker compiles and
+        analyzes one program with an in-process engine (no nested
+        pools) but shares the summary cache directory.  Results arrive
+        in input order; worker obs counters fold into the installed
+        collector.
         """
         explicit = _resolve_detector_arg(detectors)
-        pool = None
-        if explicit is None and self.config.jobs > 1 \
-                and len(named_sources) > 1:
-            # Detector *instances* don't round-trip a process boundary;
-            # explicit instance lists analyze in-process.
-            pool = self._ensure_pool()
-        if pool is None:
-            return [self.analyze_compiled(
-                        self.compile(text, name=name), detectors=detectors)
-                    for name, text in named_sources]
+        named_sources = list(named_sources)
+        results: List[Optional[AnalysisReport]] = \
+            [None] * len(named_sources)
+        # Detector *instances* can't be keyed (or pickled): the report
+        # tier and the pool both require name-addressable selections.
+        rcache = self._report_cache() if explicit is None else None
+        keys: List[Optional[str]] = [None] * len(named_sources)
+        misses: List[int] = []
+        if rcache is not None:
+            from repro.analysis.executor import ReportCache
+            for i, (name, text) in enumerate(named_sources):
+                keys[i] = ReportCache.key(name, text, self.config)
+                hit = rcache.get(keys[i])
+                if hit is not None:
+                    obs.count("analysis.report_cache.hit")
+                    results[i] = AnalysisReport(
+                        name=name, report=hit, config=self.config)
+                else:
+                    obs.count("analysis.report_cache.miss")
+                    misses.append(i)
+        else:
+            misses = list(range(len(named_sources)))
 
-        worker_config = self.config.with_(jobs=1)
-        futures = [
-            pool.submit(_analyze_task, pickle.dumps(
-                (name, text, worker_config),
-                protocol=pickle.HIGHEST_PROTOCOL))
-            for name, text in named_sources]
-        from repro.analysis.executor import _merge_worker_obs
-        out: List[AnalysisReport] = []
-        for (name, _text), future in zip(named_sources, futures):
-            report, counters, histograms, spans = \
-                pickle.loads(future.result())
-            _merge_worker_obs(counters, histograms, spans)
-            out.append(AnalysisReport(name=name, report=report,
-                                      config=self.config))
-        return out
+        pool = None
+        if explicit is None and self.config.jobs > 1 and len(misses) > 1:
+            pool = self._ensure_pool()
+
+        if pool is None:
+            for i in misses:
+                name, text = named_sources[i]
+                results[i] = self.analyze_compiled(
+                    self.compile(text, name=name), detectors=detectors)
+        elif self.config.executor_backend == "thread":
+            worker_config = self.config.with_(jobs=1)
+            futures = [
+                pool.submit(_analyze_source_inproc, named_sources[i][0],
+                            named_sources[i][1], worker_config)
+                for i in misses]
+            for i, future in zip(misses, futures):
+                results[i] = AnalysisReport(
+                    name=named_sources[i][0], report=future.result(),
+                    config=self.config)
+        else:
+            worker_config = self.config.with_(jobs=1)
+            futures = [
+                pool.submit(_analyze_task, pickle.dumps(
+                    (named_sources[i][0], named_sources[i][1],
+                     worker_config),
+                    protocol=pickle.HIGHEST_PROTOCOL))
+                for i in misses]
+            from repro.analysis.executor import _merge_worker_obs
+            for i, future in zip(misses, futures):
+                report, counters, histograms, spans = \
+                    pickle.loads(future.result())
+                _merge_worker_obs(counters, histograms, spans)
+                results[i] = AnalysisReport(
+                    name=named_sources[i][0], report=report,
+                    config=self.config)
+        if rcache is not None:
+            for i in misses:
+                rcache.put(keys[i], results[i].report)
+        return results
 
     def audit_unsafe(self, named_sources: Sequence[Tuple[str, str]]
                      ) -> "UnsafeAuditReport":

@@ -3,7 +3,8 @@
 Subcommands::
 
     minirust check FILE... [--detector NAME]... [--json] [--profile]
-                           [--jobs N] [--cache-dir DIR] [--no-cache]
+                           [--jobs N] [--executor-backend B]
+                           [--cache-dir DIR] [--no-cache]
                            [--trace-out T.json] [--flame-out F.folded]
                                                run static detectors
     minirust detectors                         list every detector name
@@ -16,6 +17,8 @@ Subcommands::
     minirust corpus [--scale N] [--seed N]     corpus + detector evaluation
     minirust stats FILE [--json] [--top N]     full-pipeline obs dump
     minirust bench-diff OLD NEW [--warn]       benchmark-regression diff
+                        [--enforce REGEX]      (contract metrics exit 1
+                                               even under --warn)
 
 ``--trace-out`` (also on ``audit-unsafe`` and ``corpus``) writes a
 Chrome-trace/Perfetto timeline of the whole command — including worker
@@ -47,6 +50,7 @@ def _analysis_config(args):
     return AnalysisConfig(
         detectors=detector_names,
         jobs=getattr(args, "jobs", 1),
+        executor_backend=getattr(args, "executor_backend", "process"),
         cache_dir=getattr(args, "cache_dir", None),
         use_cache=not getattr(args, "no_cache", False))
 
@@ -168,6 +172,20 @@ def _cmd_bench_diff(args) -> int:
     else:
         print(report.render())
     if args.warn and report.exit_code:
+        # ``--enforce REGEX`` carves enforced metrics out of warn mode:
+        # a regression whose ``file:key`` matches still fails the run.
+        # CI runs with --warn (host timing noise) but enforces the
+        # contract metrics the benchmarks themselves gate on.
+        import re as _re
+        enforced = [d for d in report.regressions
+                    if args.enforce
+                    and _re.search(args.enforce, f"{d.file}:{d.key}")]
+        if enforced:
+            for d in enforced:
+                print(f"bench-diff: enforced regression: "
+                      f"{d.file}:{d.key} {d.old:.6g} -> {d.new:.6g}",
+                      file=sys.stderr)
+            return 1
         print("bench-diff: regressions found (exit 0 due to --warn)",
               file=sys.stderr)
         return 0
@@ -347,6 +365,17 @@ def _cmd_corpus(args) -> int:
     return 0
 
 
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    """``--executor-backend`` for the commands that run the analysis
+    pipeline; findings are byte-identical across backends."""
+    p.add_argument("--executor-backend", default="process",
+                   choices=["process", "persistent", "thread"],
+                   dest="executor_backend",
+                   help="how --jobs fans out: stateless worker "
+                        "processes, a persistent fork-server pool "
+                        "(MIR ships once), or threads")
+
+
 def _add_trace_flags(p: argparse.ArgumentParser) -> None:
     """``--trace-out``/``--flame-out`` for the commands that run the
     analysis pipeline (check / audit-unsafe / corpus)."""
@@ -384,6 +413,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "runs re-solve only changed functions")
     p.add_argument("--no-cache", action="store_true",
                    help="skip summary-cache lookups and stores")
+    _add_backend_flag(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_check)
 
@@ -400,6 +430,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--jobs", type=int, default=1, metavar="N")
     p.add_argument("--cache-dir", default=None, metavar="DIR")
     p.add_argument("--no-cache", action="store_true")
+    _add_backend_flag(p)
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("run", help="interpret a program (Miri-like)")
@@ -443,6 +474,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="worker processes (output identical at any N)")
     p.add_argument("--cache-dir", default=None, metavar="DIR")
     p.add_argument("--no-cache", action="store_true")
+    _add_backend_flag(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_audit_unsafe)
 
@@ -460,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "processes")
     p.add_argument("--cache-dir", default=None, metavar="DIR")
     p.add_argument("--no-cache", action="store_true")
+    _add_backend_flag(p)
     p.add_argument("--profile", action="store_true",
                    help="print corpus generation/evaluation timings")
     _add_trace_flags(p)
@@ -477,6 +510,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "(default 10 when given bare)")
     p.set_defaults(func=_cmd_stats)
 
+    from repro.obs.benchdiff import DEFAULT_ENFORCE
     p = sub.add_parser("bench-diff",
                        help="compare two BENCH_*.json artifacts (or "
                             "directories) for perf regressions")
@@ -489,6 +523,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="relative-change significance bar (default 0.10)")
     p.add_argument("--warn", action="store_true",
                    help="report regressions but exit 0 (CI warn mode)")
+    p.add_argument("--enforce", default=DEFAULT_ENFORCE, metavar="REGEX",
+                   help="regressions whose file:key matches REGEX exit 1 "
+                        "even under --warn (default: the three contract "
+                        "metrics; '' disables)")
     p.add_argument("--json", action="store_true",
                    help="emit the diff report as JSON")
     p.set_defaults(func=_cmd_bench_diff)

@@ -478,6 +478,14 @@ class Body:
             if block.terminator is not None:
                 yield block.index, block.terminator
 
+    def __getstate__(self):
+        """Strip derived state (underscore attributes: the analysis scan,
+        the memoised fingerprint) so pickles — worker-task payloads,
+        summary-cache entries — carry only the MIR itself and receivers
+        rebuild their own caches."""
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_")}
+
 
 @dataclass
 class Program:

@@ -30,12 +30,24 @@ from typing import Dict, List, Optional, Sequence, Tuple
 #: per-run jitter in the sub-millisecond phases.
 DEFAULT_THRESHOLD = 0.10
 
+#: The three contract metrics ``bench-diff --warn`` still *enforces*
+#: (exit 1): engine-vs-naive-schedule wall ratio (BENCH_summaries),
+#: warm-over-cold audit speedup (BENCH_unsafe), and executor pickle
+#: bytes (BENCH_parallel).  These are ratios of numbers measured in the
+#: same run on the same host, so host noise largely cancels — hard
+#: gating on them is honest where gating on raw seconds is not.
+DEFAULT_ENFORCE = r"wall_ratio|warm_speedup|pickle_bytes"
+
 #: Ordered ``(regex, direction, threshold-override)`` rules; the first
 #: match classifies the metric.  ``None`` threshold means "use the
 #: caller's".  Patterns are matched with ``re.search`` against the full
 #: dotted key, case-insensitively.
 DEFAULT_RULES: Tuple[Tuple[str, str, Optional[float]], ...] = (
     (r"(^|\.)phases\.", "lower", None),          # BENCH_obs phase seconds
+    # wall_ratio is engine-wall / baseline-wall: smaller is faster,
+    # despite the "ratio" suffix that the generic rule reads as a
+    # speedup-style higher-is-better metric.
+    (r"wall_ratio", "lower", None),
     (r"(speedup|ratio|recall|throughput|hit)", "higher", None),
     (r"(seconds|wall|_s$|bytes|overhead|fraction|computes|iterations"
      r"|pickle|deserialize|evict|corrupt|stale|rss)", "lower", None),

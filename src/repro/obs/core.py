@@ -167,12 +167,20 @@ class Collector:
     A collector owns a stack of open spans (so ``span()`` calls nest), a
     forest of completed root spans, and three metric families keyed by
     dotted names (``analysis.points_to.hit``).
+
+    Thread-safe: the open-span stack is **per thread** (a span opened on
+    a thread-backend worker nests under that worker's spans, or becomes
+    a new root tagged with its ``tid``), while the shared structures —
+    roots, id allocation, counters, gauges, histograms — mutate under
+    one lock.  The lock is only ever touched when a collector is
+    installed, so the no-collector fast path stays free.
     """
 
     def __init__(self, name: str = "repro") -> None:
         self.name = name
         self.roots: List[SpanRecord] = []
-        self._stack: List[SpanRecord] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._last_id = 0
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
@@ -180,9 +188,17 @@ class Collector:
 
     # -- spans ----------------------------------------------------------
 
+    @property
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def _alloc_id(self) -> int:
-        self._last_id += 1
-        return self._last_id
+        with self._lock:
+            self._last_id += 1
+            return self._last_id
 
     def span(self, name: str, **attrs: Any) -> _SpanHandle:
         record = SpanRecord(name=name, start=perf_counter(),
@@ -191,13 +207,15 @@ class Collector:
         return _SpanHandle(self, record)
 
     def _push(self, record: SpanRecord) -> None:
-        if self._stack:
-            record.parent_id = self._stack[-1].id
-            self._stack[-1].children.append(record)
+        stack = self._stack
+        if stack:
+            record.parent_id = stack[-1].id
+            stack[-1].children.append(record)
         else:
             record.parent_id = None
-            self.roots.append(record)
-        self._stack.append(record)
+            with self._lock:
+                self.roots.append(record)
+        stack.append(record)
 
     def _pop(self, record: SpanRecord) -> None:
         # Tolerate mismatched exits (a span leaked across an exception):
@@ -256,16 +274,19 @@ class Collector:
     # -- metrics --------------------------------------------------------
 
     def count(self, name: str, n: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
-        hist.observe(value)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
 
     def merge_histogram(self, name: str, other: Histogram) -> None:
         """Fold a worker histogram into this collector's, preserving

@@ -101,6 +101,84 @@ class TestAnalysisSession:
         assert all({"name", "description"} <= set(e) for e in catalog)
 
 
+class TestReportCache:
+    """Whole-file report tier: a warm ``analyze_sources`` over unchanged
+    sources serves reports without recompiling or re-solving."""
+
+    SOURCES = (("uaf.rs", UAF_SRC), ("clean.rs", CLEAN_SRC))
+
+    def _run(self, config):
+        with api.AnalysisSession(config) as session:
+            return session.analyze_sources(list(self.SOURCES))
+
+    def test_warm_run_hits_per_file(self, tmp_path):
+        from repro import obs
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        with obs.collecting() as cold:
+            first = self._run(config)
+        assert cold.counters["analysis.report_cache.miss"] == 2
+        assert cold.counters["analysis.report_cache.store"] == 2
+        with obs.collecting() as warm:
+            second = self._run(config)
+        assert warm.counters["analysis.report_cache.hit"] == 2
+        assert warm.counters.get("analysis.report_cache.miss", 0) == 0
+        # No compile, no solve: the report tier short-circuits both.
+        assert warm.counters.get(
+            "analysis.executor.solved_functions", 0) == 0
+        assert [json.dumps(r.to_dict()) for r in first] == \
+            [json.dumps(r.to_dict()) for r in second]
+
+    def test_source_edit_misses_only_that_file(self, tmp_path):
+        from repro import obs
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        self._run(config)
+        edited = (("uaf.rs", UAF_SRC),
+                  ("clean.rs", CLEAN_SRC + "\n// touched\n"))
+        with obs.collecting() as warm:
+            with api.AnalysisSession(config) as session:
+                session.analyze_sources(list(edited))
+        assert warm.counters["analysis.report_cache.hit"] == 1
+        assert warm.counters["analysis.report_cache.miss"] == 1
+
+    def test_corrupt_report_entry_recomputes(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        first = self._run(config)
+        reports_dir = tmp_path / "reports"
+        entries = sorted(reports_dir.glob("*.report.pkl"))
+        assert len(entries) == 2
+        for entry in entries:
+            entry.write_bytes(b"\x00torn")
+        from repro import obs
+        with obs.collecting() as col:
+            second = self._run(config)
+        assert col.counters["analysis.report_cache.corrupt"] == 2
+        assert [json.dumps(r.to_dict()) for r in first] == \
+            [json.dumps(r.to_dict()) for r in second]
+
+    def test_detector_instances_bypass_report_cache(self, tmp_path):
+        from repro import obs
+        from repro.detectors.use_after_free import UseAfterFreeDetector
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        with obs.collecting() as col:
+            with api.AnalysisSession(config) as session:
+                session.analyze_sources(
+                    list(self.SOURCES),
+                    detectors=[UseAfterFreeDetector()])
+        assert "analysis.report_cache.miss" not in col.counters
+        assert not (tmp_path / "reports").exists()
+
+    def test_report_cache_knob_disables_tier(self, tmp_path):
+        from repro import obs
+        config = AnalysisConfig(cache_dir=str(tmp_path),
+                                report_cache=False)
+        self._run(config)
+        with obs.collecting() as warm:
+            self._run(config)
+        assert "analysis.report_cache.hit" not in warm.counters
+        # The summary tier below still works.
+        assert warm.counters["analysis.cache.hit"] > 0
+
+
 class TestAnalysisConfig:
     def test_frozen(self):
         config = AnalysisConfig()

@@ -41,6 +41,14 @@ class TestClassify:
         # improvements when they rise).
         assert classify("computes_ratio")[0] == "higher"
 
+    def test_wall_ratio_is_lower_is_better(self):
+        # wall_ratio = engine wall / baseline wall: a rise is a
+        # slowdown, despite the "ratio" suffix the generic rule reads
+        # as a speedup.
+        assert classify("wall_ratio")[0] == "lower"
+        assert classify("engine.wall_ratio")[0] == "lower"
+        assert classify("warm_speedup")[0] == "higher"
+
 
 OLD = {"phases": {"analysis.wall_s": 1.0}, "speedup": 2.0, "files": 7}
 
@@ -197,6 +205,44 @@ class TestBenchDiffCli:
         old = self._write(tmp_path / "old.json", OLD)
         assert main(["bench-diff", old, str(tmp_path / "nope.json")]) == 2
         assert "bench-diff" in capsys.readouterr().err
+
+    def test_warn_mode_enforces_contract_metrics(self, tmp_path, capsys):
+        # The three contract metrics stay hard gates even under --warn:
+        # wall_ratio is lower-is-better, so 0.5 -> 0.9 is a regression
+        # that must fail the run.
+        old = self._write(tmp_path / "old.json",
+                          {"engine": {"wall_ratio": 0.5}, "files": 7})
+        new = self._write(tmp_path / "new.json",
+                          {"engine": {"wall_ratio": 0.9}, "files": 7})
+        assert main(["bench-diff", old, new, "--warn"]) == 1
+        captured = capsys.readouterr()
+        assert "enforced regression" in captured.err
+        assert "engine.wall_ratio" in captured.err
+
+    def test_enforce_regex_is_overridable(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json",
+                          {"engine": {"wall_ratio": 0.5}, "files": 7})
+        new = self._write(tmp_path / "new.json",
+                          {"engine": {"wall_ratio": 0.9}, "files": 7})
+        # Empty regex disables enforcement; a non-matching one ignores
+        # this regression; a matching custom one catches it.
+        assert main(["bench-diff", old, new, "--warn",
+                     "--enforce", ""]) == 0
+        assert main(["bench-diff", old, new, "--warn",
+                     "--enforce", "pickle_bytes"]) == 0
+        assert main(["bench-diff", old, new, "--warn",
+                     "--enforce", "engine"]) == 1
+        capsys.readouterr()
+
+    def test_enforce_only_applies_to_regressions(self, tmp_path, capsys):
+        # An *improvement* in an enforced metric must not fail the run.
+        old = self._write(tmp_path / "old.json",
+                          {"engine": {"wall_ratio": 0.9}, "files": 7})
+        new = self._write(tmp_path / "new.json",
+                          {"engine": {"wall_ratio": 0.5}, "files": 7})
+        assert main(["bench-diff", old, new, "--warn"]) == 0
+        assert main(["bench-diff", old, new]) == 0
+        capsys.readouterr()
 
     def test_custom_threshold(self, tmp_path):
         old = self._write(tmp_path / "old.json", OLD)

@@ -14,7 +14,9 @@ from repro.analysis.callgraph import (
 )
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.engine import SummaryEngine
-from repro.analysis.executor import SummaryCache, body_fingerprint
+from repro.analysis.executor import (
+    LEGACY_CACHE_FORMAT, SummaryCache, body_fingerprint,
+)
 from repro.analysis.summaries import canonical, summary_fingerprint
 from repro.api import AnalysisSession, analyze
 from repro.corpus.inject import BUG_TEMPLATES
@@ -143,6 +145,30 @@ EDIT_TAIL = EDIT_BASE.replace("fn tail() -> i32 { 1 }",
                               "fn tail() -> i32 { 2 }")
 
 
+def _shards(tmp_path):
+    return sorted(tmp_path.glob("*.shard.pkl"))
+
+
+def _explode_to_v2(tmp_path):
+    """Rewrite a v3 shard cache as the legacy v2 per-entry layout:
+    one ``<key>.summary.pkl`` per component, no shards, no index."""
+    import pickle
+    entries = {}
+    for shard in _shards(tmp_path):
+        payload = pickle.loads(shard.read_bytes())
+        entries.update(payload["entries"])
+        shard.unlink()
+    index = tmp_path / SummaryCache.INDEX_NAME
+    if index.exists():
+        index.unlink()
+    for ckey, entry in entries.items():
+        (tmp_path / f"{ckey}.summary.pkl").write_bytes(pickle.dumps(
+            {"format": LEGACY_CACHE_FORMAT,
+             "summaries": entry["summaries"]},
+            protocol=pickle.HIGHEST_PROTOCOL))
+    return sorted(entries)
+
+
 class TestSummaryCache:
     def test_cold_then_warm(self, tmp_path):
         config = AnalysisConfig(cache_dir=str(tmp_path))
@@ -189,25 +215,50 @@ fn wraps(p: *const i32) -> *const i32 { gives(p) }
         # ``wraps`` (keyed on callee summary fingerprints) must re-solve.
         assert warm.counters["analysis.cache.miss"] >= 2
 
-    def test_corrupted_entry_recomputes(self, tmp_path):
+    def test_cold_writes_one_shard_per_wave(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        with obs.collecting() as cold:
+            analyze(EDIT_BASE, name="edit.rs", config=config)
+        shards = _shards(tmp_path)
+        # EDIT_BASE condenses to three wave levels (leaves, users,
+        # main): one shard each, not one file per component.
+        assert len(shards) == 3
+        assert len(shards) < cold.counters["analysis.cache.store"]
+        assert (tmp_path / SummaryCache.INDEX_NAME).exists()
+        # Warm serving costs one shard read per wave.
+        with obs.collecting() as warm:
+            analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert warm.counters["analysis.cache.shard_read"] == len(shards)
+
+    def test_corrupted_shard_recomputes(self, tmp_path):
+        # A shard truncated mid-read (or mid-write by a dying process)
+        # must be dropped and recomputed, then heal for the next run.
         config = AnalysisConfig(cache_dir=str(tmp_path))
         first = analyze(EDIT_BASE, name="edit.rs", config=config)
-        entries = sorted(tmp_path.glob("*.summary.pkl"))
-        assert entries
-        for entry in entries:
-            entry.write_bytes(b"not a pickle")
+        shards = _shards(tmp_path)
+        assert shards
+        original = shards[0].read_bytes()
+        for shard in shards:
+            shard.write_bytes(shard.read_bytes()[:25])   # torn entry
         with obs.collecting() as col:
             second = analyze(EDIT_BASE, name="edit.rs", config=config)
-        assert col.counters["analysis.cache.corrupt"] == len(entries)
+        assert col.counters["analysis.cache.corrupt"] == len(shards)
         assert col.counters.get("analysis.cache.hit", 0) == 0
         assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+        # The recomputed shards serve warm again — the corruption left
+        # no scar tissue.
+        with obs.collecting() as healed:
+            analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert healed.counters.get("analysis.cache.corrupt", 0) == 0
+        assert healed.counters["analysis.cache.hit"] > 0
+        assert len(_shards(tmp_path)[0].read_bytes()) >= len(original) // 2
 
     def test_wrong_payload_shape_recomputes(self, tmp_path):
-        cache = SummaryCache(str(tmp_path), limit=64)
-        path = cache._path("deadbeef")
         import pickle
+        cache = SummaryCache(str(tmp_path), limit=64)
+        path = cache._shard_path("deadbeef.shard.pkl")
         with open(path, "wb") as f:
-            pickle.dump(["not", "a", "summary", "dict"], f)
+            pickle.dump(["not", "a", "shard", "payload"], f)
         with obs.collecting() as col:
             assert cache.get("deadbeef") is None
         assert col.counters["analysis.cache.corrupt"] == 1
@@ -217,57 +268,118 @@ fn wraps(p: *const i32) -> *const i32 { gives(p) }
         cache = SummaryCache(str(tmp_path), limit=2)
         program = compile_(CHAIN_SRC).program
         engine = SummaryEngine(program)
-        summary = {"leaf": engine.summary("leaf")}
+        entry = ({"leaf": engine.summary("leaf")},
+                 {"leaf": summary_fingerprint(engine.summary("leaf"))})
         with obs.collecting() as col:
             for i in range(5):
-                cache.put(f"key{i}", summary)
-                os.utime(cache._path(f"key{i}"), (i, i))
-        remaining = list(tmp_path.glob("*.summary.pkl"))
-        assert len(remaining) == 2
+                name = cache.put_wave({f"key{i}": entry})
+                os.utime(cache._shard_path(name), (i, i))
+        assert len(_shards(tmp_path)) == 2
         assert col.counters["analysis.cache.evict"] == 3
+        # Evicted mappings are pruned: the survivors still hit, the
+        # evicted keys miss cleanly.
+        assert cache.get("key4") is not None
+        assert cache.get("key0") is None
 
-    def test_legacy_bare_dict_payload_is_stale(self, tmp_path):
-        # Format-1 entries stored a bare {key: FunctionSummary} dict.
-        # Serving one now would hand out summaries missing the newer
-        # fields, so it must be treated as stale — evicted and
-        # recomputed, with the dedicated counter (not `corrupt`).
-        import pickle
-        config = AnalysisConfig(cache_dir=str(tmp_path))
-        first = analyze(EDIT_BASE, name="edit.rs", config=config)
-        entries = sorted(tmp_path.glob("*.summary.pkl"))
-        assert entries
-        for entry in entries:
-            payload = pickle.loads(entry.read_bytes())
-            entry.write_bytes(pickle.dumps(payload["summaries"]))
-        with obs.collecting() as col:
-            second = analyze(EDIT_BASE, name="edit.rs", config=config)
-        assert col.counters["analysis.cache.stale"] == len(entries)
-        assert col.counters.get("analysis.cache.hit", 0) == 0
-        assert col.counters.get("analysis.cache.corrupt", 0) == 0
-        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
-        # The refreshed entries are versioned and serve warm again.
-        with obs.collecting() as warm:
-            analyze(EDIT_BASE, name="edit.rs", config=config)
-        assert warm.counters.get("analysis.cache.stale", 0) == 0
-        assert warm.counters["analysis.cache.hit"] == len(entries)
-
-    def test_other_format_payload_is_stale(self, tmp_path):
+    def test_other_format_shard_is_stale(self, tmp_path):
         import pickle
         cache = SummaryCache(str(tmp_path), limit=64)
-        path = cache._path("cafe")
+        path = cache._shard_path("cafe.shard.pkl")
         with open(path, "wb") as f:
-            pickle.dump({"format": 999, "summaries": {}}, f)
+            pickle.dump({"format": 999, "entries": {}}, f)
         with obs.collecting() as col:
             assert cache.get("cafe") is None
         assert col.counters["analysis.cache.stale"] == 1
         assert not os.path.exists(path)
 
-    def test_stale_and_corrupt_mix_roundtrips(self, tmp_path):
-        # Half the entries garbage, half legacy-shaped: one warm run
-        # heals the cache and reproduces identical findings.
+    def test_no_cache_flag_disables_cache(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path), use_cache=False)
+        with obs.collecting() as col:
+            analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert "analysis.cache.miss" not in col.counters
+        assert not list(tmp_path.iterdir())
+
+
+class TestCacheMigration:
+    """v2 → v3: the shard layout must *read* the old one-file-per-
+    component entries transparently — a hit, a re-shard, and a retire,
+    never a re-solve storm."""
+
+    def test_v2_entries_migrate_without_resolve_storm(self, tmp_path):
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        with obs.collecting() as cold:
+            first = analyze(EDIT_BASE, name="edit.rs", config=config)
+        total = cold.counters["analysis.cache.miss"]
+        legacy_keys = _explode_to_v2(tmp_path)
+        assert len(legacy_keys) == total
+        with obs.collecting() as warm:
+            second = analyze(EDIT_BASE, name="edit.rs", config=config)
+        # Every component was served from a v2 file: zero re-solves.
+        assert warm.counters["analysis.cache.hit"] == total
+        assert warm.counters["analysis.cache.migrated"] == total
+        assert warm.counters.get("analysis.cache.miss", 0) == 0
+        assert warm.counters.get(
+            "analysis.executor.solved_functions", 0) == 0
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+        # ... and transparently re-sharded: old files retired, shards
+        # written, the next run reads shards only.
+        assert not list(tmp_path.glob("*.summary.pkl"))
+        assert _shards(tmp_path)
+        with obs.collecting() as resharded:
+            analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert resharded.counters.get("analysis.cache.migrated", 0) == 0
+        assert resharded.counters["analysis.cache.hit"] == total
+
+    def test_mixed_v2_v3_dir_identical_across_jobs(self, tmp_path):
+        import pickle
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        baseline = analyze(JOBS_SRC, name="jobs.rs", config=config)
+        # Demote one shard's entries to v2 files, keep the rest v3.
+        shard = _shards(tmp_path)[0]
+        payload = pickle.loads(shard.read_bytes())
+        shard.unlink()
+        for ckey, entry in payload["entries"].items():
+            (tmp_path / f"{ckey}.summary.pkl").write_bytes(pickle.dumps(
+                {"format": LEGACY_CACHE_FORMAT,
+                 "summaries": entry["summaries"]},
+                protocol=pickle.HIGHEST_PROTOCOL))
+        payloads = []
+        for jobs in (1, 2, 4):
+            report = analyze(JOBS_SRC, name="jobs.rs",
+                             config=config.with_(jobs=jobs))
+            payloads.append(json.dumps(report.to_dict(), sort_keys=False))
+        assert payloads[0] == payloads[1] == payloads[2]
+        assert payloads[0] == json.dumps(baseline.to_dict(),
+                                         sort_keys=False)
+
+    def test_format1_bare_dict_is_stale_not_migrated(self, tmp_path):
+        # Format-1 entries stored a bare {key: FunctionSummary} dict.
+        # Serving one would hand out summaries missing newer fields, so
+        # the migration reader treats it as stale — evicted and
+        # recomputed, with the dedicated counter (not `corrupt`).
         import pickle
         config = AnalysisConfig(cache_dir=str(tmp_path))
         first = analyze(EDIT_BASE, name="edit.rs", config=config)
+        for ckey in _explode_to_v2(tmp_path):
+            path = tmp_path / f"{ckey}.summary.pkl"
+            payload = pickle.loads(path.read_bytes())
+            path.write_bytes(pickle.dumps(payload["summaries"]))
+        files = sorted(tmp_path.glob("*.summary.pkl"))
+        assert files
+        with obs.collecting() as col:
+            second = analyze(EDIT_BASE, name="edit.rs", config=config)
+        assert col.counters["analysis.cache.stale"] == len(files)
+        assert col.counters.get("analysis.cache.hit", 0) == 0
+        assert col.counters.get("analysis.cache.corrupt", 0) == 0
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+
+    def test_stale_and_corrupt_v2_mix_roundtrips(self, tmp_path):
+        # Half the v2 entries garbage, half format-1-shaped: one warm
+        # run heals the cache and reproduces identical findings.
+        import pickle
+        config = AnalysisConfig(cache_dir=str(tmp_path))
+        first = analyze(EDIT_BASE, name="edit.rs", config=config)
+        _explode_to_v2(tmp_path)
         entries = sorted(tmp_path.glob("*.summary.pkl"))
         assert len(entries) >= 2
         for i, entry in enumerate(entries):
@@ -281,13 +393,6 @@ fn wraps(p: *const i32) -> *const i32 { gives(p) }
         assert col.counters.get("analysis.cache.corrupt", 0) + \
             col.counters.get("analysis.cache.stale", 0) == len(entries)
         assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
-
-    def test_no_cache_flag_disables_cache(self, tmp_path):
-        config = AnalysisConfig(cache_dir=str(tmp_path), use_cache=False)
-        with obs.collecting() as col:
-            analyze(EDIT_BASE, name="edit.rs", config=config)
-        assert "analysis.cache.miss" not in col.counters
-        assert not list(tmp_path.glob("*.summary.pkl"))
 
 
 def _pool_available() -> bool:
@@ -311,7 +416,7 @@ class TestObsFoldBack:
     def test_pool_unavailable_falls_back_in_process(self, monkeypatch):
         import repro.analysis.executor as executor_mod
         monkeypatch.setattr(executor_mod, "create_pool",
-                            lambda jobs: None)
+                            lambda jobs, **kwargs: None)
         with obs.collecting() as par:
             degraded = analyze(JOBS_SRC, name="jobs.rs",
                                config=AnalysisConfig(jobs=4))
@@ -367,7 +472,85 @@ class TestObsFoldBack:
         assert warm.counters["cache.read_bytes"] > 0
         assert warm.counters["cache.deserialize_seconds"] >= 0.0
         hist = warm.histograms["cache.deserialize_seconds"]
-        assert hist.count == warm.counters["analysis.cache.hit"]
+        # One deserialize per *shard*, not per component: that is the
+        # point of the wave-sharded layout.
+        assert hist.count == warm.counters["analysis.cache.shard_read"]
+        assert hist.count <= warm.counters["analysis.cache.hit"]
+
+
+class TestExecutorBackends:
+    """The three executor backends are interchangeable up to wall time:
+    findings must be byte-identical across all of them at any jobs
+    count, and every backend must degrade to the in-process path."""
+
+    BACKENDS = ("process", "persistent", "thread")
+
+    def test_findings_identical_across_backends(self):
+        serial = analyze(JOBS_SRC, name="jobs.rs",
+                         config=AnalysisConfig(jobs=1))
+        expected = json.dumps(serial.to_dict(), sort_keys=False)
+        for backend in self.BACKENDS:
+            for jobs in (2, 4):
+                report = analyze(JOBS_SRC, name="jobs.rs",
+                                 config=AnalysisConfig(
+                                     jobs=jobs,
+                                     executor_backend=backend))
+                got = json.dumps(report.to_dict(), sort_keys=False)
+                assert got == expected, (backend, jobs)
+
+    def test_thread_backend_counters_match_serial(self):
+        keys = ("analysis.summaries.iterations",
+                "analysis.executor.solved_functions")
+        with obs.collecting() as ser:
+            analyze(JOBS_SRC, name="jobs.rs", config=AnalysisConfig(jobs=1))
+        with obs.collecting() as thr:
+            analyze(JOBS_SRC, name="jobs.rs",
+                    config=AnalysisConfig(jobs=4,
+                                          executor_backend="thread"))
+        for key in keys:
+            assert thr.counters[key] == ser.counters[key]
+
+    def test_thread_backend_session_fanout_preserves_order(self):
+        sources = [(f"file{i}.rs", JOBS_SRC) for i in range(4)]
+        expected = [analyze(text, name=name).to_dict()
+                    for name, text in sources]
+        config = AnalysisConfig(jobs=4, executor_backend="thread")
+        with AnalysisSession(config) as session:
+            reports = session.analyze_sources(sources)
+        assert [r.to_dict() for r in reports] == expected
+
+    def test_persistent_backend_falls_back_in_process(self, monkeypatch):
+        import repro.analysis.executor as executor_mod
+        monkeypatch.setattr(executor_mod, "create_pool",
+                            lambda jobs, **kwargs: None)
+        degraded = analyze(JOBS_SRC, name="jobs.rs",
+                           config=AnalysisConfig(
+                               jobs=4, executor_backend="persistent"))
+        serial = analyze(JOBS_SRC, name="jobs.rs",
+                         config=AnalysisConfig(jobs=1))
+        assert json.dumps(degraded.to_dict()) == \
+            json.dumps(serial.to_dict())
+
+    def test_persistent_backend_ships_program_once(self):
+        if not _pool_available():
+            pytest.skip("no process pool on this host")
+        with obs.collecting() as proc:
+            analyze(JOBS_SRC, name="jobs.rs",
+                    config=AnalysisConfig(jobs=2,
+                                          executor_backend="process"))
+        with obs.collecting() as pers:
+            analyze(JOBS_SRC, name="jobs.rs",
+                    config=AnalysisConfig(jobs=2,
+                                          executor_backend="persistent"))
+        # Per-task payloads exclude the compiled program, so the
+        # persistent backend pickles strictly less per task even after
+        # paying the one-time program shipment.
+        assert pers.counters["executor.pickle_bytes"] < \
+            proc.counters["executor.pickle_bytes"]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="executor_backend"):
+            AnalysisConfig(executor_backend="bogus")
 
 
 class TestComponentCallees:
