@@ -161,6 +161,65 @@ def test_static_races_are_dynamically_manifestable(benchmark,
          "templates", "\n".join(lines))
 
 
+#: Deadlock templates cross-validated like the races: every cycle /
+#: blocking shape the lock-graph engine reports statically must
+#: *manifest* under some interpreter schedule — a seed (and thread
+#: quantum) whose interleaving parks every thread.  The channel shape
+#: needs a coarser quantum than the ABBA (the sender must win the lock
+#: race only after the receiver has it), hence the (seed, quantum) grid.
+DEADLOCK_CASES = ["deadlock_abba_two_threads", "deadlock_condvar_hold",
+                  "deadlock_channel_recv"]
+DEADLOCK_SCHEDULES = [(seed, quantum)
+                      for seed in range(6) for quantum in (2, 5)]
+
+
+@pytest.fixture(scope="module")
+def compiled_deadlock_cases():
+    out = []
+    for name in DEADLOCK_CASES:
+        template = BUG_TEMPLATES[name]
+        assert template.dynamic_entry
+        src = template.render("X") + "\nfn main() { bug_X(); }\n"
+        out.append((name, template, compile_source(src)))
+    return out
+
+
+def test_static_deadlocks_are_dynamically_manifestable(
+        benchmark, compiled_deadlock_cases):
+    """Each statically-reported deadlock is confirmed by the interpreter:
+    some schedule drives the program into the all-threads-blocked
+    outcome the finding predicts."""
+    def run_both():
+        rows = {}
+        for name, _t, compiled in compiled_deadlock_cases:
+            report = run_detectors(compiled.program)
+            static_hits = [f for f in report.findings
+                           if f.detector == "deadlock"]
+            schedules_hit = []
+            for seed, quantum in DEADLOCK_SCHEDULES:
+                result = run_program(
+                    compiled.program,
+                    schedule=ScheduleConfig(seed=seed, quantum=quantum,
+                                            max_steps=400_000))
+                if result.outcome == "deadlock":
+                    schedules_hit.append((seed, quantum))
+            rows[name] = (static_hits, schedules_hit)
+        return rows
+    rows = benchmark(run_both)
+    lines = []
+    for name, _t, _c in compiled_deadlock_cases:
+        static_hits, schedules_hit = rows[name]
+        lines.append(f"{name:26} static: {len(static_hits)}  "
+                     f"deadlocking schedules: {len(schedules_hit)}"
+                     f"/{len(DEADLOCK_SCHEDULES)}")
+        assert len(static_hits) == 1, \
+            (name, [(f.detector, f.kind) for f in static_hits])
+        assert schedules_hit, \
+            f"{name}: static deadlock never manifested dynamically"
+    emit("lock-graph deadlock engine vs interpreter schedules on the "
+         "deadlock templates", "\n".join(lines))
+
+
 def test_lock_protected_negative_clean_both_ways(benchmark):
     """The lock-protected counterpart is clean statically *and*
     dynamically — the detectors agree on the negative too."""

@@ -109,6 +109,7 @@ class SummaryEngine:
         self._points_to: Dict[str, PointsTo] = {}
         self._call_graph: Optional[CallGraph] = None
         self._thread_escape: Optional[ThreadEscape] = None
+        self._lock_graph = None
         self._view = _ReturnView(self)
         #: Per-analysis intern table for summary atoms (lock ids, access
         #: locations/keys, locksets) — one canonical object per distinct
@@ -253,6 +254,24 @@ class SummaryEngine:
         else:
             obs.count("analysis.thread_escape.hit")
         return self._thread_escape
+
+    def lock_graph(self):
+        """The cross-thread lock graph (computed once, lazily): global
+        lock identities with per-thread-root acquisition-order edges —
+        see :mod:`repro.analysis.lockgraph`."""
+        from repro.analysis.lockgraph import build_lock_graph
+        self._ensure_solved()
+        if self._lock_graph is None:
+            obs.count("analysis.lock_graph.miss")
+            with obs.span("analysis.lock_graph"):
+                self._lock_graph = build_lock_graph(self)
+            obs.gauge("analysis.lock_graph.nodes",
+                      len(self._lock_graph.nodes))
+            obs.gauge("analysis.lock_graph.edges",
+                      len(self._lock_graph.edges))
+        else:
+            obs.count("analysis.lock_graph.hit")
+        return self._lock_graph
 
     # -- solve --------------------------------------------------------------
 
@@ -500,6 +519,20 @@ class SummaryEngine:
                     translated = intern(translated)
                     if translated not in locks:
                         locks[translated] = (callee, lock)
+                elif lock[0] == "arg":
+                    # Points-to route: an arg-relative lock whose operand
+                    # is a local Arc resolves to its allocation site — the
+                    # globally identifiable name the cross-thread lock
+                    # graph and `lock_chain` provenance need.
+                    for ident in sorted(caller_lock_ids(body, pt, term,
+                                                        lock)):
+                        if ident[0] != "heap" \
+                                or len(ident[2]) > self._MAX_PROJ:
+                            continue
+                        heap_id = intern(("heap", ident[1],
+                                          tuple(ident[2]), lock[3]))
+                        if heap_id not in locks:
+                            locks[heap_id] = (callee, lock)
             for position in callee_summary.arg_escapes:
                 if position < len(sources) \
                         and sources[position] is not None:
@@ -726,14 +759,17 @@ class SummaryEngine:
                         orders.setdefault(intern((intern(a), intern(b))),
                                           span)
 
-        # Direct pairs: a later acquisition inside a held region.
+        # Direct pairs: a later acquisition inside a held region.  Heap
+        # allocation-site ids qualify alongside args and statics: they
+        # are program-unique, so a pair over local Arc-allocated mutexes
+        # stays meaningful in every caller's summary.
         calls = scan_of(body).calls
         for region in guard_regions():
             if region.is_try:
                 continue
             firsts = {(ident[0], ident[1], tuple(ident[2]), region.kind)
                       for ident in region.lock_ids
-                      if ident[0] in ("arg", "static")}
+                      if ident[0] in ("arg", "static", "heap")}
             if not firsts:
                 continue
             for bb, term in calls:
@@ -746,7 +782,7 @@ class SummaryEngine:
                         and term.args[0].place is not None:
                     for ident in lock_identity(body, pt,
                                                term.args[0].place.local):
-                        if ident[0] in ("arg", "static"):
+                        if ident[0] in ("arg", "static", "heap"):
                             seconds.add((ident[0], ident[1],
                                          tuple(ident[2]), lock_kind))
                 callee = self._callee_of(body, term)
@@ -778,15 +814,16 @@ class SummaryEngine:
                           lock: LockId, sources) -> Set[LockId]:
         """All caller-frame names of one callee lock id: the argument
         route (stays caller-translatable) plus the points-to route
-        (resolves a lock passed by reference to the static it names)."""
+        (resolves a lock passed by reference to the static or heap
+        allocation site it names)."""
         out: Set[LockId] = set()
         translated = translate_lock(lock, sources)
         if translated is not None:
             out.add(translated)
         if lock[0] == "arg":
             for ident in caller_lock_ids(body, pt, term, lock):
-                if ident[0] == "static":
-                    out.add(("static", ident[1], tuple(ident[2]), lock[3]))
+                if ident[0] in ("static", "heap"):
+                    out.add((ident[0], ident[1], tuple(ident[2]), lock[3]))
         return out
 
     def _const_return(self, body: Body,

@@ -196,3 +196,25 @@ def translate_capture(site: SpawnSite, pt_spawner: PointsTo,
         return set()
     return {(kind, payload, proj)
             for kind, payload in _global_targets(pt_spawner, captured)}
+
+
+def capture_lock_ids(site: SpawnSite, pt_spawner: PointsTo,
+                     lock: Tuple) -> Set[Tuple]:
+    """Resolve a closure-frame summary lock id (the 4-tuple
+    ``(kind_of_id, payload, projection, lock_kind)``) to the spawner
+    frame's *global* lock identities at this spawn site.
+
+    Statics and heap allocation sites are already program-global and pass
+    through; an ``"arg"`` id names a capture, which resolves through the
+    spawner's points-to to the Arc-cloned mutex / captured lock / channel
+    endpoint it carries.  This is the node-identity rule of the
+    cross-thread lock graph: two threads meet on a lock exactly when
+    their resolved id sets intersect."""
+    id_kind, payload, proj, lock_kind = lock
+    if id_kind in ("static", "heap"):
+        return {lock}
+    if id_kind != "arg":
+        return set()
+    return {(kind, target, tuple(p), lock_kind)
+            for kind, target, p in translate_capture(
+                site, pt_spawner, payload, tuple(proj))}

@@ -1,0 +1,327 @@
+"""The cross-thread lock graph: global lock identities × thread roots.
+
+The paper's blocking-bug study (§6.1) finds that most real-world Rust
+deadlocks are *cross-thread* cycles — thread A holds M1 wanting M2 while
+thread B holds M2 wanting M1 — a shape no same-call-chain analysis can
+see.  This module composes three facts the engine already computes into
+one whole-program structure:
+
+* **Nodes** are *global* lock identities — 3-tuples ``(kind, payload,
+  projection)`` with kind ``"static"`` or ``"heap"`` — resolved through
+  the thread-escape analysis's globally identifiable targets:
+  Arc-cloned mutexes and captured locks resolve to their allocation
+  site, statics to their name, channel endpoints to the ``channel()``
+  call's site (see :func:`repro.analysis.escape.capture_lock_ids`).
+* **Edges** are summary-carried acquisition orders
+  (``FunctionSummary.lock_orders``, solved in the SCC fixpoint),
+  attributed per *thread root*: the main thread owns the pairs of every
+  function that never runs on a spawned thread; each
+  :class:`~repro.analysis.escape.SpawnSite` owns its closure's pairs,
+  with arg-relative ids resolved through the capture environment.
+* **Cycles** come from a bounded Johnson-style elementary-circuit
+  enumeration; a cycle is a *deadlock* candidate only when its edges can
+  be assigned pairwise-distinct thread roots (the same thread acquiring
+  A→B then B→A merely re-orders, and stays the lock-order detector's
+  business).
+
+Every edge carries hold/want provenance chains (the call chain from the
+thread root's function to each acquisition, via the engine's
+``lock_chain``), which is what lets the deadlock detector print
+per-thread "holds … wants … acquired along …" narratives.
+
+The module also hosts :func:`global_site_ids` — interprocedural identity
+resolution for condvar / channel-endpoint receivers (capture and caller
+routes) — and :func:`live_functions`, the reachability filter that keeps
+a notify inside a never-spawned closure from suppressing a
+missed-signal report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.escape import capture_lock_ids, translate_capture
+from repro.analysis.lifetime import lock_identity
+from repro.lang.source import Span
+from repro.mir.nodes import Body
+
+#: A lock-graph node: ``(kind, payload, projection)`` with kind
+#: ``"static"`` or ``"heap"`` — the program-global part of a lock id.
+LockNode = Tuple
+
+#: Default bound on elementary-circuit length (locks per cycle).  Real
+#: deadlock reports overwhelmingly involve two or three locks; the bound
+#: keeps the circuit search linear in practice on dense graphs.
+DEFAULT_CYCLE_BOUND = 4
+
+
+@dataclass(frozen=True, order=True)
+class ThreadRoot:
+    """One thread of execution the lock graph attributes edges to.
+
+    The *main* root stands for everything that never runs on a spawned
+    thread; every ``thread::spawn`` call site is its own root (the same
+    closure spawned twice gives two roots — two live threads that can
+    interleave against each other).
+    """
+
+    kind: str          # "main" | "spawn"
+    spawner: str       # spawning function key ("" for the main root)
+    block: int         # spawn-site block (-1 for the main root)
+    key: str           # the root's entry function ("" for the main root)
+
+    def label(self) -> str:
+        if self.kind == "main":
+            return "main thread"
+        return f"thread spawned at `{self.spawner}` (block {self.block})"
+
+
+MAIN_ROOT = ThreadRoot("main", "", -1, "")
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """One acquisition-order observation: ``root`` may acquire ``dst``
+    while holding ``src``, observed in ``fn_key`` at ``span``."""
+
+    src: LockNode
+    dst: LockNode
+    src_kind: str                  # "mutex" | "read" | "write" | ...
+    dst_kind: str
+    root: ThreadRoot
+    fn_key: str                    # function whose summary carried the pair
+    span: Span
+    #: Call chains from ``fn_key`` to each acquisition ([fn_key] when
+    #: the acquisition is direct or the chain is unknown).
+    hold_chain: Tuple[str, ...]
+    want_chain: Tuple[str, ...]
+
+
+@dataclass
+class LockGraph:
+    """The built graph: sorted nodes, deterministic edge list, roots."""
+
+    nodes: Tuple[LockNode, ...] = ()
+    edges: Tuple[OrderEdge, ...] = ()
+    roots: Tuple[ThreadRoot, ...] = ()
+    _by_pair: Optional[Dict[Tuple[LockNode, LockNode],
+                            List[OrderEdge]]] = field(default=None,
+                                                      repr=False)
+
+    def edges_between(self, src: LockNode,
+                      dst: LockNode) -> List[OrderEdge]:
+        if self._by_pair is None:
+            by_pair: Dict[Tuple[LockNode, LockNode], List[OrderEdge]] = {}
+            for edge in self.edges:
+                by_pair.setdefault((edge.src, edge.dst), []).append(edge)
+            self._by_pair = by_pair
+        return self._by_pair.get((src, dst), [])
+
+    def cycles(self, max_len: int = DEFAULT_CYCLE_BOUND) \
+            -> List[Tuple[LockNode, ...]]:
+        """Elementary circuits of length ``2..max_len``, each reported
+        once, rotated so its smallest node comes first (the Johnson
+        ordering: a DFS from each start node may only visit larger
+        nodes, so no circuit is found twice)."""
+        adjacency: Dict[LockNode, Set[LockNode]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.src, set()).add(edge.dst)
+        found: List[Tuple[LockNode, ...]] = []
+        for start in sorted(adjacency):
+            path = [start]
+            on_path = {start}
+
+            def dfs(current: LockNode) -> None:
+                for nxt in sorted(adjacency.get(current, ())):
+                    if nxt == start:
+                        if len(path) >= 2:
+                            found.append(tuple(path))
+                    elif nxt > start and nxt not in on_path \
+                            and len(path) < max_len:
+                        path.append(nxt)
+                        on_path.add(nxt)
+                        dfs(nxt)
+                        path.pop()
+                        on_path.discard(nxt)
+
+            dfs(start)
+        return found
+
+    def deadlock_cycles(self, max_len: int = DEFAULT_CYCLE_BOUND) \
+            -> List[Tuple[Tuple[LockNode, ...], List[OrderEdge]]]:
+        """Cycles whose edges admit an assignment of pairwise-distinct
+        thread roots — the cross-thread deadlock candidates.  Returns
+        ``(cycle nodes, one witness edge per hop)`` pairs."""
+        out = []
+        for cycle in self.cycles(max_len):
+            n = len(cycle)
+            slots = [self.edges_between(cycle[i], cycle[(i + 1) % n])
+                     for i in range(n)]
+            witness = _assign_distinct_roots(slots)
+            if witness is not None:
+                out.append((cycle, witness))
+        return out
+
+
+def _assign_distinct_roots(
+        slots: Sequence[Sequence[OrderEdge]]) -> Optional[List[OrderEdge]]:
+    """Pick one edge per slot such that all roots differ (backtracking;
+    slot count is bounded by the cycle bound)."""
+    chosen: List[OrderEdge] = []
+    used: Set[ThreadRoot] = set()
+
+    def backtrack(i: int) -> bool:
+        if i == len(slots):
+            return True
+        for edge in slots[i]:
+            if edge.root in used:
+                continue
+            used.add(edge.root)
+            chosen.append(edge)
+            if backtrack(i + 1):
+                return True
+            chosen.pop()
+            used.discard(edge.root)
+        return False
+
+    return list(chosen) if backtrack(0) else None
+
+
+def build_lock_graph(engine) -> LockGraph:
+    """Build the cross-thread lock graph from a solved
+    :class:`~repro.analysis.engine.SummaryEngine`."""
+    program = engine.program
+    te = engine.thread_escape()
+    edges: Dict[Tuple[LockNode, LockNode, ThreadRoot], OrderEdge] = {}
+
+    def add_edge(first, second, root: ThreadRoot, fn_key: str, span: Span,
+                 hold_key, want_key) -> None:
+        src, dst = first[:3], second[:3]
+        if src == dst:
+            return
+        edges.setdefault((src, dst, root), OrderEdge(
+            src=src, dst=dst, src_kind=first[3], dst_kind=second[3],
+            root=root, fn_key=fn_key, span=span,
+            hold_chain=tuple(engine.lock_chain(fn_key, hold_key)),
+            want_chain=tuple(engine.lock_chain(fn_key, want_key))))
+
+    def sorted_orders(summary):
+        return sorted(summary.lock_orders.items(),
+                      key=lambda item: (str(item[0]), item[1].lo))
+
+    # Main-root edges: every function that never runs on a spawned
+    # thread contributes its summary pairs whose ids are already global.
+    for key in sorted(program.functions):
+        if key in te.thread_reachable:
+            continue
+        for (first, second), span in sorted_orders(engine.summary(key)):
+            if first[0] in ("static", "heap") \
+                    and second[0] in ("static", "heap"):
+                add_edge(first, second, MAIN_ROOT, key, span, first, second)
+
+    # Spawn-root edges: the spawned closure's pairs, with arg-relative
+    # ids (captures) resolved through the spawner's points-to at the
+    # spawn site.
+    for site in sorted(te.spawn_sites,
+                       key=lambda s: (s.spawner, s.block, s.closure)):
+        closure = program.functions.get(site.closure)
+        spawner = program.functions.get(site.spawner)
+        if closure is None or spawner is None:
+            continue
+        root = ThreadRoot("spawn", site.spawner, site.block, site.closure)
+        pt_spawner = engine.points_to(spawner)
+        for (first, second), span in sorted_orders(
+                engine.summary(site.closure)):
+            firsts = sorted(capture_lock_ids(site, pt_spawner, first))
+            seconds = sorted(capture_lock_ids(site, pt_spawner, second))
+            for a in firsts:
+                for b in seconds:
+                    add_edge(a, b, root, site.closure, span, first, second)
+
+    edge_list = tuple(edges[key] for key in sorted(
+        edges, key=lambda k: (k[2], str(k[0]), str(k[1]))))
+    nodes = tuple(sorted({e.src for e in edge_list}
+                         | {e.dst for e in edge_list}))
+    roots = tuple(sorted({e.root for e in edge_list}))
+    return LockGraph(nodes=nodes, edges=edge_list, roots=roots)
+
+
+# ---------------------------------------------------------------------------
+# Shared identity / liveness helpers (condvar + channel blocking patterns)
+# ---------------------------------------------------------------------------
+
+def global_site_ids(engine, body: Body, local: int,
+                    depth: int = 3,
+                    _seen: Optional[FrozenSet[str]] = None) -> Set[Tuple]:
+    """Global (static / heap) identities of a builtin-call receiver.
+
+    Resolves the receiver through this body's points-to, then follows
+    arg-relative ids outward: through every spawn site's capture
+    environment when ``body`` is a spawned closure, and through every
+    call site's operand when it is called (bounded at ``depth`` caller
+    hops).  Two condvars / channel endpoints are "the same" exactly when
+    their resolved id sets intersect."""
+    seen = _seen or frozenset()
+    pt = engine.points_to(body)
+    ids = lock_identity(body, pt, local)
+    out = {(i[0], i[1], tuple(i[2])) for i in ids
+           if i[0] in ("static", "heap")}
+    arg_ids = sorted((i[1], tuple(i[2])) for i in ids if i[0] == "arg")
+    if not arg_ids or depth <= 0 or body.key in seen:
+        return out
+    seen = seen | {body.key}
+    te = engine.thread_escape()
+    program = engine.program
+
+    # Capture route: a closure argument resolves through each spawn site.
+    for site in te.spawn_sites:
+        if site.closure != body.key:
+            continue
+        spawner = program.functions.get(site.spawner)
+        if spawner is None:
+            continue
+        pt_spawner = engine.points_to(spawner)
+        for position, proj in arg_ids:
+            out |= {(k, payload, tuple(p)) for k, payload, p in
+                    translate_capture(site, pt_spawner, position, proj)}
+
+    # Caller route: a declared parameter resolves through each call site.
+    for cs in engine.call_graph.call_sites:
+        if cs.callee != body.key or cs.is_spawn:
+            continue
+        caller = program.functions.get(cs.caller)
+        if caller is None:
+            continue
+        term = caller.blocks[cs.block].terminator
+        if term is None or not getattr(term, "args", None):
+            continue
+        for position, proj in arg_ids:
+            if position >= len(term.args) \
+                    or term.args[position].place is None:
+                continue
+            sub = global_site_ids(engine, caller,
+                                  term.args[position].place.local,
+                                  depth - 1, seen)
+            out |= {(k, payload, tuple(p) + proj) for k, payload, p in sub}
+    return out
+
+
+def live_functions(engine) -> Set[str]:
+    """Functions that can actually run: every non-closure function is a
+    potential entry point; closures only run when something spawns or
+    calls them.  A notify / send inside a never-invoked closure must not
+    count as reachable."""
+    graph = engine.call_graph
+    live: Set[str] = set()
+    stack = [key for key, body in engine.program.functions.items()
+             if not body.is_closure]
+    live.update(stack)
+    while stack:
+        key = stack.pop()
+        for nxt in graph.edges.get(key, set()) \
+                | graph.spawn_edges.get(key, set()):
+            if nxt not in live:
+                live.add(nxt)
+                stack.append(nxt)
+    return live

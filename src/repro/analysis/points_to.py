@@ -54,12 +54,20 @@ _INTO_RECEIVER_OPS = {
     BuiltinOp.AS_MUT,
 }
 
-# Builtin calls that allocate.
+# Builtin calls that allocate.  ``channel()`` counts as an allocation:
+# the ``(Sender, Receiver)`` pair shares one underlying queue, so giving
+# the tuple a heap site makes both endpoints resolve to the same global
+# identity — the channel-endpoint node the cross-thread lock graph needs.
 _ALLOC_OPS = {
     BuiltinOp.BOX_NEW, BuiltinOp.RC_NEW, BuiltinOp.ARC_NEW,
     BuiltinOp.VEC_NEW, BuiltinOp.VEC_WITH_CAPACITY, BuiltinOp.VEC_MACRO,
     BuiltinOp.ALLOC, BuiltinOp.STRING_NEW, BuiltinOp.HASHMAP_NEW,
     BuiltinOp.GETMNTENT, BuiltinOp.VEC_FROM_RAW_PARTS,
+    BuiltinOp.CHANNEL_NEW, BuiltinOp.SYNC_CHANNEL_NEW,
+    # A condvar's identity is its creation site (it guards no data, so
+    # this never feeds lock/guard-region logic): wait and notify sites
+    # on the same condvar meet on one id even without an Arc wrapper.
+    BuiltinOp.CONDVAR_NEW,
 }
 
 

@@ -40,9 +40,14 @@ Fields and their join direction:
 * ``lock_orders`` — ordered lock-acquisition pairs observed in the call
   tree, in caller-translatable 4-tuple ids: ``(first, second) → span``
   means the function may acquire ``second`` while holding ``first``.
-  Composing these through call sites is what lets the lock-order detector
-  see an ABBA cycle whose two acquisitions live in a helper taking both
-  locks as arguments.
+  Ids are ``"arg"`` (translated per call site), ``"static"``, or
+  ``"heap"`` — heap allocation-site ids are program-unique
+  (``"fnkey:bb"``), so a pair over Arc-allocated mutexes stays globally
+  identifiable as it propagates up the call chain.  Composing these
+  through call sites is what lets the lock-order detector see an ABBA
+  cycle whose two acquisitions live in a helper taking both locks as
+  arguments, and what gives the cross-thread lock graph
+  (:mod:`repro.analysis.lockgraph`) its per-thread-root edges.
 * ``shared_accesses`` — the "accesses-shared-under-locks" component: every
   read/write the call tree performs through a pointer to potentially
   thread-shared data, keyed by :data:`AccessKey` ``(location, is_write,
@@ -58,7 +63,8 @@ Fields and their join direction:
 Lock ids are the caller-translatable 4-tuples of
 :func:`repro.analysis.callgraph.direct_locks`:
 ``(kind_of_id, payload, projection, lock_kind)`` with ``kind_of_id`` one
-of ``"arg"`` / ``"static"``.
+of ``"arg"`` / ``"static"`` / ``"heap"`` (heap ids only appear after the
+engine resolves an arg-relative lock through points-to).
 """
 
 from __future__ import annotations
@@ -206,8 +212,9 @@ def term_arg_sources(body: Body, term) -> List[Optional[int]]:
 def translate_lock(lock: LockId,
                    sources: List[Optional[int]]) -> Optional[LockId]:
     """Translate a callee lock id into the caller's frame using the call
-    site's operand → caller-argument mapping (statics pass through)."""
-    if lock[0] == "static":
+    site's operand → caller-argument mapping (statics and heap sites are
+    program-global ids and pass through unchanged)."""
+    if lock[0] in ("static", "heap"):
         return lock
     if lock[0] == "arg":
         index = lock[1]

@@ -41,6 +41,7 @@ from repro.driver import CompiledProgram, compile_source
 __all__ = [
     "AnalysisConfig", "AnalysisReport", "AnalysisSession", "SCHEMA_VERSION",
     "UnsafeAuditReport", "analyze", "audit_unsafe", "detector_catalog",
+    "lock_graph",
 ]
 
 SourceOrPath = Union[str, "os.PathLike[str]"]
@@ -358,6 +359,30 @@ def analyze(source_or_path: SourceOrPath, *, detectors=None,
     with AnalysisSession(config) as session:
         return session.analyze(source_or_path, detectors=detectors,
                                name=name)
+
+
+def lock_graph(source_or_path: SourceOrPath, *,
+               config: Optional[AnalysisConfig] = None,
+               name: Optional[str] = None):
+    """Compile one program and return its cross-thread lock graph — the
+    structure the ``deadlock`` detector searches (see
+    :mod:`repro.analysis.lockgraph`).
+
+    Nodes are global lock identities (statics and heap allocation
+    sites, so Arc-cloned mutexes and captured locks meet on one node);
+    edges are held→wanted acquisition orders attributed to the thread
+    root (main, or a specific spawn site) that can execute them.
+    ``graph.deadlock_cycles()`` enumerates the cycles whose edges can be
+    assigned pairwise-distinct threads, each with witness hold/want
+    chains.
+    """
+    config = coerce_config(config, _owner="lock_graph")
+    resolved_name, text = _load(source_or_path, name)
+    compiled = compile_source(
+        text, name=resolved_name,
+        emit_bounds_checks=config.emit_bounds_checks)
+    from repro.analysis.engine import SummaryEngine
+    return SummaryEngine(compiled.program, config).lock_graph()
 
 
 # ---------------------------------------------------------------------------

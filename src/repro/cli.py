@@ -5,6 +5,7 @@ Subcommands::
     minirust check FILE... [--detector NAME]... [--json] [--profile]
                            [--jobs N] [--executor-backend B]
                            [--cache-dir DIR] [--no-cache]
+                           [--deadlock-cycle-bound N]
                            [--trace-out T.json] [--flame-out F.folded]
                                                run static detectors
     minirust detectors                         list every detector name
@@ -52,7 +53,8 @@ def _analysis_config(args):
         jobs=getattr(args, "jobs", 1),
         executor_backend=getattr(args, "executor_backend", "process"),
         cache_dir=getattr(args, "cache_dir", None),
-        use_cache=not getattr(args, "no_cache", False))
+        use_cache=not getattr(args, "no_cache", False),
+        deadlock_cycle_bound=getattr(args, "deadlock_cycle_bound", 4))
 
 
 def _session_reports(args):
@@ -413,6 +415,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "runs re-solve only changed functions")
     p.add_argument("--no-cache", action="store_true",
                    help="skip summary-cache lookups and stores")
+    p.add_argument("--deadlock-cycle-bound", type=int, default=4,
+                   metavar="N", dest="deadlock_cycle_bound",
+                   help="longest lock-graph cycle the deadlock detector "
+                        "searches for (default 4; real-world deadlocks "
+                        "involve 2-3 locks)")
     _add_backend_flag(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_check)

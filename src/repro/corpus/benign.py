@@ -178,6 +178,28 @@ fn pipeline_{u}() -> i32 {{
 """
 
 
+def _handoff_lock_then_send(u: str) -> str:
+    # The safe twin of `deadlock_channel_recv`: the spawned sender takes
+    # the lock, sends, and the guard drops when the closure ends — while
+    # the receiver recvs holding *nothing* and only locks afterwards.
+    # No lock is held across the blocking recv, so the handoff always
+    # completes.
+    return f"""
+static JOURNAL_{u}: Mutex<i32> = Mutex::new(0);
+fn handoff_{u}() {{
+    let (tx, rx) = channel();
+    let h = thread::spawn(move || {{
+        let g = JOURNAL_{u}.lock().unwrap();
+        tx.send(*g);
+    }});
+    let v = rx.recv().unwrap();
+    let g = JOURNAL_{u}.lock().unwrap();
+    print(*g + v);
+    h.join();
+}}
+"""
+
+
 def _vec_pipeline(u: str) -> str:
     return f"""
 fn process_{u}(items: &Vec<i32>) -> i32 {{
@@ -267,6 +289,7 @@ BENIGN_TEMPLATES: Dict[str, Callable[[str], str]] = {
     "worker_threads": _worker_threads,
     "locked_shared": _locked_shared,
     "channel_pipeline": _channel_pipeline,
+    "handoff_lock_then_send": _handoff_lock_then_send,
     "vec_pipeline": _vec_pipeline,
     "state_machine": _state_machine,
     "cache_map": _cache_map,
@@ -277,4 +300,4 @@ BENIGN_TEMPLATES: Dict[str, Callable[[str], str]] = {
 #: Benign templates using channels / condvars — kept out of files that
 #: carry channel/condvar bug injections so program-level detectors stay
 #: meaningful.
-CHANNEL_BENIGN = {"channel_pipeline"}
+CHANNEL_BENIGN = {"channel_pipeline", "handoff_lock_then_send"}

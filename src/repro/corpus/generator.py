@@ -51,10 +51,11 @@ APP_PROFILES: Dict[str, AppProfile] = {
         "double_lock_match": 2, "double_lock_if": 2,
         "double_lock_callee": 1, "lock_order_pair": 1,
         "condvar_no_notify": 1, "atomic_check_act": 1,
+        "deadlock_abba_two_threads": 1, "deadlock_condvar_hold": 1,
     }),
     "tikv_like": AppProfile("tikv_like", benign_modules=6, bug_mix={
         "double_lock_match": 1, "condvar_no_notify": 1,
-        "recv_holding_lock": 1,
+        "recv_holding_lock": 1, "deadlock_channel_recv": 1,
     }),
     "redox_like": AppProfile("redox_like", benign_modules=7, bug_mix={
         "invalid_free_assign": 2, "uninit_read": 2, "uaf_drop_deref": 1,
@@ -72,7 +73,8 @@ APP_PROFILES: Dict[str, AppProfile] = {
 #: Templates whose detectors are program-level and would be masked by
 #: benign uses of the same primitive in the same file.
 _ISOLATED_TEMPLATES = {"channel_no_sender", "condvar_no_notify",
-                       "recv_holding_lock"}
+                       "recv_holding_lock", "deadlock_abba_two_threads",
+                       "deadlock_condvar_hold", "deadlock_channel_recv"}
 
 
 @dataclass

@@ -15,6 +15,9 @@ lock_order_pair        §6.1 conflicting orders                lock-order
 condvar_no_notify      §6.1 Condvar bugs (8/10)               condvar
 channel_no_sender      §6.1 channel bugs                      channel
 once_recursion         §6.1 Once bug                          once-recursion
+deadlock_abba_two_threads    §6.1 cross-thread ABBA           deadlock
+deadlock_condvar_hold  §6.1 wait holding an unrelated lock    deadlock
+deadlock_channel_recv  §6.1 recv holding the sender's lock    deadlock
 uaf_drop_deref         Figure 7 shape                         use-after-free
 uaf_escape_ffi         Figure 7 (CMS_sign)                    use-after-free
 uaf_free_in_callee     §7.1 inter-procedural free             use-after-free
@@ -419,6 +422,81 @@ fn producer_{u}(tx: &Sender<i32>) {{
 """
 
 
+def _deadlock_abba_two_threads(u: str) -> str:
+    # The cross-thread ABBA deadlock, split so no single function (and no
+    # single thread) shows both orders: the acquisitions live in a shared
+    # helper taking both locks as arguments, and the two threads pass the
+    # Arc-cloned mutexes in opposite orders.  Invisible to the per-thread
+    # lock-order detector (the lock identities are heap allocation sites,
+    # not statics, and each call site is consistent with itself) — only
+    # the cross-thread lock graph sees the cycle.
+    return f"""
+fn grab_both_{u}(first: &Mutex<i32>, second: &Mutex<i32>) {{
+    let a = first.lock().unwrap();
+    let b = second.lock().unwrap();
+    print(*a + *b);
+}}
+fn bug_{u}() {{
+    let m1 = Arc::new(Mutex::new(1));
+    let m2 = Arc::new(Mutex::new(2));
+    let c1 = Arc::clone(&m1);
+    let c2 = Arc::clone(&m2);
+    let h = thread::spawn(move || {{
+        grab_both_{u}(&c2, &c1);
+    }});
+    grab_both_{u}(&m1, &m2);
+    h.join();
+}}
+"""
+
+
+def _deadlock_condvar_hold(u: str) -> str:
+    # §6.1 condvar-hold: the waiter parks holding an *unrelated* lock
+    # (the wait only releases its own guard), and the one notifier must
+    # take that lock before it can signal — the wakeup can never happen.
+    return f"""
+static META_{u}: Mutex<i32> = Mutex::new(0);
+fn bug_{u}() {{
+    let state = Arc::new(Mutex::new(0));
+    let cv = Arc::new(Condvar::new());
+    let state2 = Arc::clone(&state);
+    let cv2 = Arc::clone(&cv);
+    let h = thread::spawn(move || {{
+        let m = META_{u}.lock().unwrap();
+        let g = state2.lock().unwrap();
+        cv2.notify_one();
+        print(*m + *g);
+    }});
+    let meta = META_{u}.lock().unwrap();
+    let g = state.lock().unwrap();
+    let g2 = cv.wait(g).unwrap();
+    print(*meta + *g2);
+    h.join();
+}}
+"""
+
+
+def _deadlock_channel_recv(u: str) -> str:
+    # §6.1 channel deadlock: the receiver blocks in ``recv()`` holding
+    # the lock its only (cross-thread) sender must acquire before it can
+    # send — the receiver waits for a message only a blocked thread can
+    # produce.
+    return f"""
+static GATE_{u}: Mutex<i32> = Mutex::new(0);
+fn bug_{u}() {{
+    let (tx, rx) = channel();
+    let h = thread::spawn(move || {{
+        let g = GATE_{u}.lock().unwrap();
+        tx.send(*g);
+    }});
+    let gate = GATE_{u}.lock().unwrap();
+    let v = rx.recv().unwrap();
+    print(*gate + v);
+    h.join();
+}}
+"""
+
+
 BUG_TEMPLATES: Dict[str, BugTemplate] = {
     "double_lock_match": BugTemplate("double_lock_match", BugKind.BLOCKING,
                                      "double-lock", _double_lock_match),
@@ -436,6 +514,15 @@ BUG_TEMPLATES: Dict[str, BugTemplate] = {
                                   "once-recursion", _once_recursion),
     "recv_holding_lock": BugTemplate("recv_holding_lock", BugKind.BLOCKING,
                                      "channel", _recv_holding_lock),
+    "deadlock_abba_two_threads": BugTemplate(
+        "deadlock_abba_two_threads", BugKind.BLOCKING, "deadlock",
+        _deadlock_abba_two_threads, dynamic_entry=True),
+    "deadlock_condvar_hold": BugTemplate(
+        "deadlock_condvar_hold", BugKind.BLOCKING, "deadlock",
+        _deadlock_condvar_hold, dynamic_entry=True),
+    "deadlock_channel_recv": BugTemplate(
+        "deadlock_channel_recv", BugKind.BLOCKING, "deadlock",
+        _deadlock_channel_recv, dynamic_entry=True),
     "uaf_drop_deref": BugTemplate("uaf_drop_deref", BugKind.MEMORY,
                                   "use-after-free", _uaf_drop_deref),
     "uaf_escape_ffi": BugTemplate("uaf_escape_ffi", BugKind.MEMORY,

@@ -90,6 +90,10 @@ class AnalysisContext:
         """Program-wide thread-escape facts (engine-owned, lazy)."""
         return self.engine.thread_escape()
 
+    def lock_graph(self):
+        """The cross-thread lock graph (engine-owned, lazy)."""
+        return self.engine.lock_graph()
+
     def guard_regions(self, body: Body,
                       include_try: bool = False) -> List[GuardRegion]:
         return self._lookup(

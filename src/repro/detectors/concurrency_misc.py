@@ -50,28 +50,47 @@ class CondvarDetector(Detector):
     paper_section = "6.1"
 
     def check_program(self, ctx: AnalysisContext) -> List[Finding]:
+        from repro.analysis.lockgraph import global_site_ids, live_functions
         program = ctx.program
         waits = _sites_with_op(program, {BuiltinOp.CONDVAR_WAIT})
-        notifies = _sites_with_op(program, _NOTIFY_OPS)
         findings: List[Finding] = []
         if not waits:
             return findings
-        notify_ids: Set = set()
-        for body, _bb, term in notifies:
-            notify_ids |= _receiver_identity(ctx, body, term)
+        # Only a notify that can actually run counts: its function must be
+        # an entry point or reachable (called / spawned) from one.  A
+        # notify inside a closure nothing ever invokes wakes nobody.
+        live = live_functions(ctx.engine)
+        notifies = [(body, bb, term) for body, bb, term
+                    in _sites_with_op(program, _NOTIFY_OPS)
+                    if body.key in live]
+        # Identity comparison is only meaningful for global ids — but
+        # ``global_site_ids`` resolves receiver locals interprocedurally
+        # (through spawn captures and call sites), so a condvar handed to
+        # a spawned closure still meets its waiter on the allocation site.
+        notify_global: Set = set()
+        unresolved_notify = False
+        for nbody, _bb, nterm in notifies:
+            if not nterm.args or nterm.args[0].place is None:
+                unresolved_notify = True
+                continue
+            ids = global_site_ids(ctx.engine, nbody,
+                                  nterm.args[0].place.local)
+            if ids:
+                notify_global |= ids
+            else:
+                unresolved_notify = True
         for body, bb, term in waits:
-            wait_ids = _receiver_identity(ctx, body, term)
-            # Identity comparison is only meaningful for global ids; local
-            # ids from different bodies must not be compared.
-            wait_global = {i for i in wait_ids if i[0] in ("static", "heap")}
-            notify_global = {i for i in notify_ids
-                             if i[0] in ("static", "heap")}
+            if term.args and term.args[0].place is not None:
+                wait_global = global_site_ids(ctx.engine, body,
+                                              term.args[0].place.local)
+            else:
+                wait_global = set()
             if not notifies:
                 matched = False
-            elif wait_global and notify_global:
-                matched = bool(wait_global & notify_global)
-            else:
+            elif not wait_global or unresolved_notify:
                 matched = True     # cannot distinguish: assume matched
+            else:
+                matched = bool(wait_global & notify_global)
             if not matched:
                 findings.append(Finding(
                     detector=self.name, kind="condvar-no-notify",

@@ -10,6 +10,7 @@ from repro.detectors.concurrency_misc import (
     ChannelDetector, CondvarDetector, OnceRecursionDetector,
 )
 from repro.detectors.data_race import DataRaceDetector
+from repro.detectors.deadlock import DeadlockDetector
 from repro.detectors.double_lock import DoubleLockDetector
 from repro.detectors.interior_mutability import (
     AtomicityViolationDetector, SyncUnsyncWriteDetector,
@@ -40,6 +41,7 @@ ALL_DETECTORS: List[Type[Detector]] = [
     UninitReadDetector,
     BufferOverflowDetector,
     LockOrderDetector,
+    DeadlockDetector,
     CondvarDetector,
     ChannelDetector,
     OnceRecursionDetector,
@@ -57,6 +59,7 @@ MEMORY_DETECTORS = [UseAfterFreeDetector, DanglingReturnDetector,
                     UninitReadDetector, BufferOverflowDetector,
                     UnsafeLeakDetector, UncheckedUnsafeInputDetector]
 CONCURRENCY_DETECTORS = [DoubleLockDetector, LockOrderDetector,
+                         DeadlockDetector,
                          CondvarDetector, ChannelDetector,
                          OnceRecursionDetector, SyncUnsyncWriteDetector,
                          AtomicityViolationDetector, DataRaceDetector]
@@ -94,6 +97,58 @@ def resolve_detectors(names) -> List[Detector]:
     return detectors
 
 
+def apply_subsumption(report: Report) -> Report:
+    """Suppress weaker findings the deadlock engine strictly subsumes.
+
+    A ``deadlock-cycle`` finding proves two *threads* can interleave the
+    conflicting acquisitions; a ``lock-order`` ABBA finding over the same
+    lock set only observes the conflicting orders exist somewhere.  When
+    both fire on the same cycle (compared as an unordered lock set), the
+    weaker one is dropped and the survivor records a ``subsumed_by``
+    provenance fact naming it.  Likewise a ``recv-deadlock`` finding
+    (every live sender provably blocked) subsumes the channel detector's
+    heuristic ``recv-holding-lock`` warning at the same recv site.
+
+    ``double-lock`` never overlaps: a lock-graph cycle has at least two
+    *distinct* locks per its node-identity rule, while double-lock is
+    one lock acquired twice by one thread.
+    """
+    from repro import obs
+    from repro.obs.provenance import fact
+
+    by_cycle = {}
+    recv_sites = {}
+    for f in report.findings:
+        if f.detector != "deadlock":
+            continue
+        if f.kind == "deadlock-cycle":
+            by_cycle[frozenset(f.metadata.get("cycle", []))] = f
+        elif f.kind == "recv-deadlock":
+            recv_sites[(f.fn_key, f.span.lo)] = f
+    if not by_cycle and not recv_sites:
+        return report
+    kept = []
+    for f in report.findings:
+        winner = None
+        if f.detector == "lock-order" and f.metadata.get("cycle"):
+            winner = by_cycle.get(frozenset(f.metadata["cycle"]))
+        elif f.detector == "channel" and f.kind == "recv-holding-lock":
+            winner = recv_sites.get((f.fn_key, f.span.lo))
+        if winner is not None:
+            obs.count("detectors.subsumed")
+            winner.provenance.append(fact(
+                "subsumed_by",
+                f"this finding subsumes a weaker `{f.detector}`/"
+                f"`{f.kind}` finding on the same evidence "
+                f"(was reported in `{f.fn_key}`)",
+                detector=f.detector, finding_kind=f.kind,
+                fn_key=f.fn_key))
+            continue
+        kept.append(f)
+    report.findings[:] = kept
+    return report
+
+
 def run_detectors(program, detectors: Optional[List[Detector]] = None,
                   source=None, config=None, pool=None) -> Report:
     """Run detectors over a MIR program and return a deduplicated report.
@@ -120,6 +175,6 @@ def run_detectors(program, detectors: Optional[List[Detector]] = None,
                 found = detector.run(ctx)
             obs.count(f"detector.{detector.name}.findings", len(found))
             report.extend(found)
-    deduped = report.dedup()
+    deduped = apply_subsumption(report.dedup())
     obs.count("detectors.findings", len(deduped.findings))
     return deduped

@@ -1,0 +1,338 @@
+"""Cross-thread deadlock engine: lock graph, detector, subsumption."""
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import SummaryEngine
+from repro.detectors.registry import run_detectors
+from repro.driver import compile_source
+
+ABBA_SPLIT = """
+fn grab_both(first: &Mutex<i32>, second: &Mutex<i32>) {
+    let a = first.lock().unwrap();
+    let b = second.lock().unwrap();
+    print(*a + *b);
+}
+fn bug_abba() {
+    let m1 = Arc::new(Mutex::new(1));
+    let m2 = Arc::new(Mutex::new(2));
+    let c1 = Arc::clone(&m1);
+    let c2 = Arc::clone(&m2);
+    let h = thread::spawn(move || {
+        grab_both(&c2, &c1);
+    });
+    grab_both(&m1, &m2);
+    h.join();
+}
+"""
+
+STATIC_CROSS_THREAD_ABBA = """
+static LA: Mutex<i32> = Mutex::new(0);
+static LB: Mutex<i32> = Mutex::new(0);
+fn bug_static() {
+    let h = thread::spawn(move || {
+        let b = LB.lock().unwrap();
+        let a = LA.lock().unwrap();
+        print(*a + *b);
+    });
+    let a = LA.lock().unwrap();
+    let b = LB.lock().unwrap();
+    print(*a + *b);
+    h.join();
+}
+"""
+
+SAME_THREAD_ABBA = """
+static SA: Mutex<i32> = Mutex::new(0);
+static SB: Mutex<i32> = Mutex::new(0);
+fn first_order() {
+    let a = SA.lock().unwrap();
+    let b = SB.lock().unwrap();
+    print(*a + *b);
+}
+fn second_order() {
+    let b = SB.lock().unwrap();
+    let a = SA.lock().unwrap();
+    print(*a + *b);
+}
+"""
+
+THREE_LOCK_CYCLE = """
+static TA: Mutex<i32> = Mutex::new(0);
+static TB: Mutex<i32> = Mutex::new(0);
+static TC: Mutex<i32> = Mutex::new(0);
+fn bug_three() {
+    let h1 = thread::spawn(move || {
+        let a = TA.lock().unwrap();
+        let b = TB.lock().unwrap();
+        print(*a + *b);
+    });
+    let h2 = thread::spawn(move || {
+        let b = TB.lock().unwrap();
+        let c = TC.lock().unwrap();
+        print(*b + *c);
+    });
+    let c = TC.lock().unwrap();
+    let a = TA.lock().unwrap();
+    print(*a + *c);
+    h1.join();
+    h2.join();
+}
+"""
+
+
+def _findings(src, **config_kwargs):
+    compiled = compile_source(src)
+    report = run_detectors(compiled.program,
+                           config=AnalysisConfig(**config_kwargs))
+    return report.findings
+
+
+class TestLockGraph:
+    def test_abba_graph_shape(self):
+        compiled = compile_source(ABBA_SPLIT)
+        engine = SummaryEngine(compiled.program, AnalysisConfig())
+        graph = engine.lock_graph()
+        # Two Arc-allocated mutexes, one edge per direction, two roots
+        # (main + the spawn site).
+        assert len(graph.nodes) == 2
+        assert all(node[0] == "heap" for node in graph.nodes)
+        assert len({e.root for e in graph.edges}) == 2
+        cycles = graph.deadlock_cycles(4)
+        assert len(cycles) == 1
+        cycle, witness = cycles[0]
+        assert len(cycle) == 2 and len(witness) == 2
+        assert witness[0].root != witness[1].root
+        # Hold/want chains walk through the shared helper.
+        for edge in witness:
+            assert edge.hold_chain[-1] == "grab_both"
+            assert edge.want_chain[-1] == "grab_both"
+
+    def test_graph_accessor_is_cached(self):
+        compiled = compile_source(ABBA_SPLIT)
+        engine = SummaryEngine(compiled.program, AnalysisConfig())
+        assert engine.lock_graph() is engine.lock_graph()
+
+    def test_same_thread_cycle_has_no_distinct_roots(self):
+        compiled = compile_source(SAME_THREAD_ABBA)
+        engine = SummaryEngine(compiled.program, AnalysisConfig())
+        graph = engine.lock_graph()
+        # The order cycle exists in the graph...
+        assert graph.cycles(4)
+        # ...but no per-thread assignment: both edges run on main.
+        assert graph.deadlock_cycles(4) == []
+
+    def test_api_lock_graph_helper(self):
+        from repro import api
+        graph = api.lock_graph(ABBA_SPLIT)
+        assert len(graph.deadlock_cycles(4)) == 1
+
+
+class TestDeadlockCycleDetector:
+    def test_split_abba_invisible_to_old_detectors(self):
+        """The acceptance shape: acquisitions split across a helper and
+        two threads.  Heap lock identities and per-call-site-consistent
+        orders keep every pre-existing detector silent — only the
+        cross-thread lock graph reports it."""
+        findings = _findings(ABBA_SPLIT)
+        assert {f.detector for f in findings} == {"deadlock"}
+        finding = findings[0]
+        assert finding.kind == "deadlock-cycle"
+        assert finding.fn_key == "bug_abba"
+        hold_want = [p for p in finding.provenance
+                     if p["kind"] == "hold-want"]
+        assert len(hold_want) == 2
+        threads = {p["thread"] for p in hold_want}
+        assert len(threads) == 2 and "main thread" in threads
+        for p in hold_want:
+            assert p["hold_chain"] and p["want_chain"]
+            assert p["hold_chain"][-1] == "grab_both"
+
+    def test_three_lock_three_thread_cycle(self):
+        findings = _findings(THREE_LOCK_CYCLE)
+        cycle_findings = [f for f in findings
+                          if f.kind == "deadlock-cycle"]
+        assert len(cycle_findings) == 1
+        assert len(cycle_findings[0].metadata["cycle"]) == 3
+        assert len(cycle_findings[0].metadata["threads"]) == 3
+
+    def test_cycle_bound_caps_the_search(self):
+        findings = _findings(THREE_LOCK_CYCLE, deadlock_cycle_bound=2)
+        assert not [f for f in findings if f.kind == "deadlock-cycle"]
+
+    def test_cycle_bound_validation(self):
+        with pytest.raises(ValueError, match="deadlock_cycle_bound"):
+            AnalysisConfig(deadlock_cycle_bound=1)
+
+    def test_same_thread_abba_left_to_lock_order(self):
+        findings = _findings(SAME_THREAD_ABBA)
+        assert {f.detector for f in findings} == {"lock-order"}
+
+
+class TestSubsumption:
+    def test_deadlock_subsumes_lock_order_on_same_cycle(self):
+        findings = _findings(STATIC_CROSS_THREAD_ABBA)
+        assert {f.detector for f in findings} == {"deadlock"}
+        facts = [p for p in findings[0].provenance
+                 if p["kind"] == "subsumed_by"]
+        assert len(facts) == 1
+        assert facts[0]["detector"] == "lock-order"
+        assert facts[0]["finding_kind"] == "conflicting-lock-order"
+
+    def test_recv_deadlock_subsumes_channel_warning(self):
+        from repro.corpus.inject import BUG_TEMPLATES
+        src = BUG_TEMPLATES["deadlock_channel_recv"].render("X")
+        findings = _findings(src)
+        assert [(f.detector, f.kind) for f in findings] == \
+            [("deadlock", "recv-deadlock")]
+        facts = [p for p in findings[0].provenance
+                 if p["kind"] == "subsumed_by"]
+        assert len(facts) == 1
+        assert facts[0]["detector"] == "channel"
+
+
+class TestBlockingPatterns:
+    def test_condvar_hold_lock(self):
+        from repro.corpus.inject import BUG_TEMPLATES
+        src = BUG_TEMPLATES["deadlock_condvar_hold"].render("X")
+        findings = _findings(src)
+        assert [(f.detector, f.kind) for f in findings] == \
+            [("deadlock", "condvar-hold-lock")]
+        assert "META_X" in findings[0].metadata["held"]
+
+    def test_condvar_wait_without_extra_lock_is_clean(self):
+        src = """
+fn ok_waiter() {
+    let state = Arc::new(Mutex::new(0));
+    let cv = Arc::new(Condvar::new());
+    let state2 = Arc::clone(&state);
+    let cv2 = Arc::clone(&cv);
+    let h = thread::spawn(move || {
+        let g = state2.lock().unwrap();
+        cv2.notify_one();
+        print(*g);
+    });
+    let g = state.lock().unwrap();
+    let g2 = cv.wait(g).unwrap();
+    print(*g2);
+    h.join();
+}
+"""
+        assert not _findings(src)
+
+    def test_notifier_not_needing_held_lock_is_clean(self):
+        # The waiter holds META, but the notifier never touches it — a
+        # wakeup remains possible, so no condvar-hold-lock.
+        src = """
+static META: Mutex<i32> = Mutex::new(0);
+fn ok_free_notifier() {
+    let state = Arc::new(Mutex::new(0));
+    let cv = Arc::new(Condvar::new());
+    let state2 = Arc::clone(&state);
+    let cv2 = Arc::clone(&cv);
+    let h = thread::spawn(move || {
+        let g = state2.lock().unwrap();
+        cv2.notify_one();
+        print(*g);
+    });
+    let meta = META.lock().unwrap();
+    let g = state.lock().unwrap();
+    let g2 = cv.wait(g).unwrap();
+    print(*meta + *g2);
+    h.join();
+}
+"""
+        assert not [f for f in _findings(src) if f.detector == "deadlock"]
+
+    def test_recv_without_spawn_is_not_recv_deadlock(self):
+        # recv_holding_lock has no thread boundary between sender and
+        # receiver: the heuristic channel warning stays, the deadlock
+        # engine (which requires cross-thread sends) stays out.
+        from repro.corpus.inject import BUG_TEMPLATES
+        src = BUG_TEMPLATES["recv_holding_lock"].render("X")
+        findings = _findings(src)
+        assert {f.detector for f in findings} == {"channel"}
+
+    def test_benign_handoff_is_clean(self):
+        from repro.corpus.benign import BENIGN_TEMPLATES
+        src = BENIGN_TEMPLATES["handoff_lock_then_send"]("X")
+        assert not _findings(src)
+
+
+class TestCondvarNotifyScan:
+    def test_notify_in_dead_closure_does_not_suppress(self):
+        src = """
+fn bug_dead_notify() {
+    let state = Mutex::new(0);
+    let cv = Condvar::new();
+    let never = || {
+        cv.notify_one();
+    };
+    let g = state.lock().unwrap();
+    let g2 = cv.wait(g).unwrap();
+    print(*g2);
+}
+"""
+        findings = _findings(src)
+        assert [(f.detector, f.kind) for f in findings] == \
+            [("condvar", "condvar-no-notify")]
+
+    def test_notify_on_other_condvar_does_not_suppress(self):
+        src = """
+fn bug_wrong_cv() {
+    let state = Mutex::new(0);
+    let cv_a = Condvar::new();
+    let cv_b = Condvar::new();
+    let g = state.lock().unwrap();
+    let g2 = cv_a.wait(g).unwrap();
+    cv_b.notify_one();
+    print(*g2);
+}
+"""
+        findings = _findings(src)
+        assert [(f.detector, f.kind) for f in findings] == \
+            [("condvar", "condvar-no-notify")]
+
+    def test_matching_live_notify_suppresses(self):
+        src = """
+fn ok_same_cv() {
+    let state = Mutex::new(0);
+    let cv = Condvar::new();
+    let g = state.lock().unwrap();
+    let g2 = cv.wait(g).unwrap();
+    cv.notify_one();
+    print(*g2);
+}
+"""
+        assert not _findings(src)
+
+    def test_spawned_notifier_still_counts(self):
+        src = """
+fn ok_notified() {
+    let state = Arc::new(Mutex::new(0));
+    let cv = Arc::new(Condvar::new());
+    let cv2 = Arc::clone(&cv);
+    let h = thread::spawn(move || {
+        cv2.notify_one();
+    });
+    let g = state.lock().unwrap();
+    let g2 = cv.wait(g).unwrap();
+    print(*g2);
+    h.join();
+}
+"""
+        assert not [f for f in _findings(src) if f.detector == "condvar"]
+
+
+class TestDeterminism:
+    def test_findings_stable_across_jobs(self):
+        compiled = compile_source(ABBA_SPLIT)
+        baseline = None
+        for jobs in (1, 2):
+            report = run_detectors(compiled.program,
+                                   config=AnalysisConfig(jobs=jobs))
+            payload = [(f.detector, f.kind, f.fn_key, f.span.lo)
+                       for f in report.findings]
+            if baseline is None:
+                baseline = payload
+            assert payload == baseline
