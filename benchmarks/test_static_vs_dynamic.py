@@ -38,6 +38,11 @@ fn main() {
 }""", {"deadlock"}),
     ("condvar_no_notify", "fn main() { bug_X(); }", {"deadlock"}),
     ("once_recursion", "fn main() { bug_X(); }", {"deadlock"}),
+    # The panic-path double free: statically a `panic-safety` finding,
+    # dynamically UB *during unwinding* (the landing pad drops the value
+    # `ptr::read` already duplicated).
+    ("panic_between_read_and_write",
+     "fn main() { bug_X(true); }", {"ub"}),
 ]
 
 #: §6.1's "send on a full bounded channel" bug: the static channel
@@ -245,6 +250,61 @@ def test_lock_protected_negative_clean_both_ways(benchmark):
     emit("lock-protected negative: static findings 0, dynamic races "
          f"{len(races)} across seeds {list(RACE_SEEDS)}", "")
     assert not races
+
+
+def test_panic_safety_cross_validation(benchmark):
+    """The unwind model, validated in both directions.  The buggy
+    template's static `panic-safety` finding manifests dynamically: the
+    panicking driver reaches UB *during unwinding* (the landing pad
+    frees what `ptr::read` duplicated), while the non-panicking driver
+    is clean.  The guard-restores twin is clean both ways — its panic
+    unwinds without UB and leaks nothing, because the duplication window
+    closed before the panic."""
+    from repro.corpus.benign import BENIGN_TEMPLATES
+    buggy = BUG_TEMPLATES["panic_between_read_and_write"].render("X")
+    benign = BENIGN_TEMPLATES["panic_guard_restores"]("X")
+    programs = {
+        ("buggy", True): compile_source(
+            buggy + "\nfn main() { bug_X(true); }\n"),
+        ("buggy", False): compile_source(
+            buggy + "\nfn main() { bug_X(false); }\n"),
+        ("benign", True): compile_source(
+            benign + "\nfn main() { guarded_update_X(true); }\n"),
+        ("benign", False): compile_source(
+            benign + "\nfn main() { guarded_update_X(false); }\n"),
+    }
+
+    static = {key: run_detectors(compiled.program)
+              for key, compiled in programs.items()}
+    for key in (("buggy", True), ("buggy", False)):
+        assert any(f.detector == "panic-safety"
+                   for f in static[key].findings), key
+    for key in (("benign", True), ("benign", False)):
+        assert not static[key].findings, \
+            [(f.detector, f.kind) for f in static[key].findings]
+
+    def run_dynamic():
+        return {key: run_program(compiled.program,
+                                 schedule=ScheduleConfig(max_steps=100_000))
+                for key, compiled in programs.items()}
+    dynamic = benchmark(run_dynamic)
+    assert dynamic[("buggy", True)].outcome == "ub", \
+        dynamic[("buggy", True)].error
+    assert dynamic[("buggy", False)].outcome == "ok"
+    assert dynamic[("benign", True)].outcome == "panic", \
+        dynamic[("benign", True)].error
+    assert dynamic[("benign", True)].leaked == 0
+    assert dynamic[("benign", False)].outcome == "ok"
+    emit("panic-safety cross-validation",
+         "buggy(panic):  static panic-safety HIT, dynamic "
+         f"{dynamic[('buggy', True)].outcome} during unwind\n"
+         "buggy(clean):  static panic-safety HIT (no input needed), "
+         f"dynamic {dynamic[('buggy', False)].outcome}\n"
+         "benign(panic): static 0 findings, dynamic "
+         f"{dynamic[('benign', True)].outcome} "
+         f"(leaked {dynamic[('benign', True)].leaked})\n"
+         "benign(clean): static 0 findings, dynamic "
+         f"{dynamic[('benign', False)].outcome}")
 
 
 def test_dynamic_only_bounded_channel(benchmark):

@@ -63,6 +63,13 @@ class AnalysisConfig:
       elementary-circuit enumeration).  Real-world deadlocks in the
       studied bug set involve two or three locks; the default of 4 keeps
       the search linear in practice while leaving headroom.
+    * ``unwind_edges`` — materialise unwind successor edges and
+      landing-pad cleanup blocks on may-panic terminators (bounds
+      checks, ``unwrap``, ``RefCell`` borrows, explicit ``panic!``,
+      arithmetic guards) so dataflow and the detectors see panic paths.
+      ``False`` is the ``--no-unwind-edges`` ablation: the CFG keeps the
+      pre-unwind straight-line-success shape and the panic-path
+      detectors go quiet.
     """
 
     interprocedural: bool = True
@@ -77,6 +84,7 @@ class AnalysisConfig:
     emit_bounds_checks: bool = True
     audit_unsafe: bool = False
     deadlock_cycle_bound: int = 4
+    unwind_edges: bool = True
 
     EXECUTOR_BACKENDS = ("process", "persistent", "thread")
 

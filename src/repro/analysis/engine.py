@@ -39,6 +39,7 @@ from repro.analysis.intern import Interner
 from repro.analysis.lifetime import (
     LOCK_ACQUIRE_OPS, caller_lock_ids, compute_guard_regions, lock_identity,
 )
+from repro.analysis.panic import compute_panic_effects, ensure_unwind_edges
 from repro.analysis.points_to import (
     PointsTo, UNKNOWN_TARGET, compute_points_to, return_items,
 )
@@ -102,6 +103,14 @@ class SummaryEngine:
         self.config = coerce_config(config, interprocedural=interprocedural,
                                     _owner="SummaryEngine")
         self.program = program
+        if self.config.unwind_edges:
+            # Unwind lowering runs before anything scans, fingerprints or
+            # ships a body: every downstream consumer (dataflow, workers,
+            # the summary cache) sees one consistent CFG.  Idempotent, so
+            # a second engine over the same program is a no-op.
+            with obs.span("analysis.unwind_lowering"):
+                for body in program.functions.values():
+                    ensure_unwind_edges(body)
         self.interprocedural = self.config.interprocedural
         #: Optionally session-owned worker pool, shared across programs.
         self._executor_pool = pool
@@ -220,6 +229,24 @@ class SummaryEngine:
                 break
             seen.add((current_key, current_pos))
             chain.append(current_key)
+        return chain
+
+    def panic_chain(self, key: str) -> List[str]:
+        """The call chain along which ``key`` reaches a panic source —
+        ``[key]`` when a panic operation is in its own body."""
+        self._ensure_solved()
+        chain = [key]
+        seen = {key}
+        current = key
+        while True:
+            summary = self._summaries.get(current)
+            if summary is None or summary.panic.hop is None:
+                break
+            current = summary.panic.hop
+            if current in seen:
+                break
+            seen.add(current)
+            chain.append(current)
         return chain
 
     def access_chain(self, key: str, access: Tuple) -> List[str]:
@@ -625,7 +652,8 @@ class SummaryEngine:
             locks_held_on_return=frozenset(held),
             acquires_any_lock=acquires, calls_unknown=calls_unknown,
             shared_accesses=shared, unsafe_provenance=unsafe_prov,
-            lock_orders=lock_orders)
+            lock_orders=lock_orders,
+            panic=compute_panic_effects(body, self._summaries, user_sites))
 
     #: Translated access/lock projections longer than this are dropped —
     #: the bound that keeps recursive frames (whose translation prepends

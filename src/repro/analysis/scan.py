@@ -64,6 +64,13 @@ class BodyScan:
         drop_locals: List[int] = []
         has_unsafe = False
         for block in body.blocks:
+            # Landing pads synthesised by unwind lowering hold only the
+            # pending drops of the panic path; the scan models the
+            # fall-through program (drop_locals, first_assigns, value
+            # chains), so they are skipped — pad effects are read from
+            # the CFG edges, not the flattened views.
+            if block.cleanup:
+                continue
             bb = block.index
             for i, stmt in enumerate(block.statements):
                 statements.append((bb, i, stmt))

@@ -60,6 +60,12 @@ Fields and their join direction:
   ``(callee, callee access key)`` hop the entry came through (``None``
   when direct) and the span of the access / call site.
 
+* ``panic`` — the panic-effects component (:mod:`repro.analysis.panic`):
+  a may-panic bit with its source vocabulary and hop provenance, the
+  moved-out-not-reinitialised window at this body's panic points, and
+  the drop obligations live on unwind.  What the ``panic-safety`` /
+  ``bad-drop`` detectors and ``panic_chain`` provenance consume.
+
 Lock ids are the caller-translatable 4-tuples of
 :func:`repro.analysis.callgraph.direct_locks`:
 ``(kind_of_id, payload, projection, lock_kind)`` with ``kind_of_id`` one
@@ -74,6 +80,7 @@ import hashlib
 from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.analysis.panic import PanicEffects
 from repro.analysis.scan import scan_of
 from repro.analysis.unsafe_prop import UnsafeProvenance, restore_slots_state
 from repro.hir.builtins import BuiltinOp
@@ -120,6 +127,10 @@ class FunctionSummary:
     #: (first lock, second lock) → span of the second acquisition.
     lock_orders: Dict[Tuple[LockId, LockId], Span] = \
         field(default_factory=dict)
+    #: The panic-effects component (may-panic bit with source vocabulary
+    #: and hop provenance, moved-at-panic window, unwind drop
+    #: obligations) — see :mod:`repro.analysis.panic`.
+    panic: PanicEffects = field(default_factory=PanicEffects)
 
     def drops_arg(self, position: int) -> bool:
         return position in self.may_drop_args

@@ -54,6 +54,7 @@ def _analysis_config(args):
         executor_backend=getattr(args, "executor_backend", "process"),
         cache_dir=getattr(args, "cache_dir", None),
         use_cache=not getattr(args, "no_cache", False),
+        unwind_edges=not getattr(args, "no_unwind_edges", False),
         deadlock_cycle_bound=getattr(args, "deadlock_cycle_bound", 4))
 
 
@@ -378,6 +379,17 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
                         "(MIR ships once), or threads")
 
 
+def _add_unwind_flag(p: argparse.ArgumentParser) -> None:
+    """``--no-unwind-edges`` ablation for the commands that run the
+    analysis pipeline: the CFG keeps the pre-unwind straight-line-success
+    shape and the panic-path detectors go quiet."""
+    p.add_argument("--no-unwind-edges", action="store_true",
+                   dest="no_unwind_edges",
+                   help="ablation: analyse without unwind successor "
+                        "edges and landing pads (panic-path detectors "
+                        "go quiet)")
+
+
 def _add_trace_flags(p: argparse.ArgumentParser) -> None:
     """``--trace-out``/``--flame-out`` for the commands that run the
     analysis pipeline (check / audit-unsafe / corpus)."""
@@ -421,6 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "searches for (default 4; real-world deadlocks "
                         "involve 2-3 locks)")
     _add_backend_flag(p)
+    _add_unwind_flag(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_check)
 
@@ -438,6 +451,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--cache-dir", default=None, metavar="DIR")
     p.add_argument("--no-cache", action="store_true")
     _add_backend_flag(p)
+    _add_unwind_flag(p)
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("run", help="interpret a program (Miri-like)")
@@ -482,6 +496,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--cache-dir", default=None, metavar="DIR")
     p.add_argument("--no-cache", action="store_true")
     _add_backend_flag(p)
+    _add_unwind_flag(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_audit_unsafe)
 
@@ -500,6 +515,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--cache-dir", default=None, metavar="DIR")
     p.add_argument("--no-cache", action="store_true")
     _add_backend_flag(p)
+    _add_unwind_flag(p)
     p.add_argument("--profile", action="store_true",
                    help="print corpus generation/evaluation timings")
     _add_trace_flags(p)

@@ -280,6 +280,26 @@ fn count_atomic_{u}() -> i32 {{
 """
 
 
+def _panic_guard_restores(u: str) -> str:
+    # The no-bug mirror of `panic_between_read_and_write`: the guard
+    # takes the value out and restores it before anything can panic, so
+    # the duplication window is closed by the time the fallible check
+    # runs — `panic-safety` (and the unwind path itself) must stay
+    # clean.
+    return f"""
+fn guarded_update_{u}(flag: bool) -> i32 {{
+    let mut slot = vec![1, 2, 3];
+    unsafe {{
+        ptr::write(&mut slot, ptr::read(&slot));
+    }}
+    if flag {{
+        panic!("update rejected after restore");
+    }}
+    slot.len()
+}}
+"""
+
+
 BENIGN_TEMPLATES: Dict[str, Callable[[str], str]] = {
     "safe_counter": _safe_counter,
     "proper_locking": _proper_locking,
@@ -295,6 +315,7 @@ BENIGN_TEMPLATES: Dict[str, Callable[[str], str]] = {
     "cache_map": _cache_map,
     "refcounted_tree": _refcounted_tree,
     "atomic_counter": _atomic_counter,
+    "panic_guard_restores": _panic_guard_restores,
 }
 
 #: Benign templates using channels / condvars — kept out of files that

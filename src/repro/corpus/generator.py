@@ -68,6 +68,13 @@ APP_PROFILES: Dict[str, AppProfile] = {
         "condvar_no_notify": 1, "unsafe_leak_raw_return": 1,
         "unchecked_index_passthrough": 1,
     }),
+    # The RUSTSEC-advisory mix: exception-safety and uninit-exposure
+    # shapes drawn from the CVE classes the §5.1 taxonomy maps to.
+    "cve_like": AppProfile("cve_like", benign_modules=4, bug_mix={
+        "panic_between_read_and_write": 1,
+        "double_drop_in_drop_impl": 1,
+        "uninit_pub_exposure": 1,
+    }),
 }
 
 #: Templates whose detectors are program-level and would be masked by

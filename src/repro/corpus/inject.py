@@ -32,6 +32,9 @@ race_arc_interior_mut  §5.3 Arc + interior mutability         data-race
 race_lock_wrong_mutex  §6.1 wrong-lock protection             data-race
 unsafe_leak_raw_return §5.3 raw pointer escapes safe API      unsafe-leak
 unchecked_index_passthrough  §5.3 unvalidated interior input  unchecked-unsafe-input
+panic_between_read_and_write §5.1 panic while ptr::read open   panic-safety
+double_drop_in_drop_impl     §5.1 Drop impl double drop        bad-drop
+uninit_pub_exposure          §5.3 uninit bytes escape pub API  uninit-exposure
 =====================  =====================================  ============
 """
 
@@ -497,6 +500,57 @@ fn bug_{u}() {{
 """
 
 
+def _panic_between_read_and_write(u: str) -> str:
+    # The CVE-class exception-safety shape: `ptr::read` duplicates the
+    # value, a fallible operation runs, `ptr::write` restores.  On the
+    # panic path the write-back never happens — unwinding drops both the
+    # original (by scope obligation) and the duplicate: double free.
+    return f"""
+fn bug_{u}(flag: bool) -> i32 {{
+    let mut slot = vec![1, 2, 3];
+    unsafe {{
+        let tmp = ptr::read(&slot);
+        if flag {{
+            panic!("mid-update");
+        }}
+        ptr::write(&mut slot, tmp);
+    }}
+    slot.len()
+}}
+"""
+
+
+def _double_drop_in_drop_impl(u: str) -> str:
+    # A destructor that `ptr::read`s a field and lets the duplicate
+    # drop: after `fn drop` returns, the compiler's drop glue frees the
+    # field a second time (the uid lives in the struct name, so the
+    # finding's `Holder_<uid>::drop` key matches the injection).
+    return f"""
+struct Holder_{u} {{ data: Vec<i32> }}
+impl Drop for Holder_{u} {{
+    fn drop(&mut self) {{
+        unsafe {{
+            let dup = ptr::read(&self.data);
+            drop(dup);
+        }}
+    }}
+}}
+fn make_holder_{u}() {{
+    let h = Holder_{u} {{ data: vec![1, 2, 3] }};
+}}
+"""
+
+
+def _uninit_pub_exposure(u: str) -> str:
+    # A safe public constructor hands out a pointer to bytes it never
+    # initialised — the uninitialised-buffer advisory shape.
+    return f"""
+pub fn bug_{u}() -> *mut i32 {{
+    unsafe {{ alloc(16) as *mut i32 }}
+}}
+"""
+
+
 BUG_TEMPLATES: Dict[str, BugTemplate] = {
     "double_lock_match": BugTemplate("double_lock_match", BugKind.BLOCKING,
                                      "double-lock", _double_lock_match),
@@ -563,6 +617,15 @@ BUG_TEMPLATES: Dict[str, BugTemplate] = {
     "unchecked_index_passthrough": BugTemplate(
         "unchecked_index_passthrough", BugKind.MEMORY,
         "unchecked-unsafe-input", _unchecked_index_passthrough),
+    "panic_between_read_and_write": BugTemplate(
+        "panic_between_read_and_write", BugKind.MEMORY, "panic-safety",
+        _panic_between_read_and_write),
+    "double_drop_in_drop_impl": BugTemplate(
+        "double_drop_in_drop_impl", BugKind.MEMORY, "bad-drop",
+        _double_drop_in_drop_impl),
+    "uninit_pub_exposure": BugTemplate(
+        "uninit_pub_exposure", BugKind.MEMORY, "uninit-exposure",
+        _uninit_pub_exposure),
 }
 
 MEMORY_TEMPLATES = [t for t in BUG_TEMPLATES.values()

@@ -86,6 +86,9 @@ class AnalysisContext:
     def access_chain(self, key: str, access) -> List[str]:
         return self.engine.access_chain(key, access)
 
+    def panic_chain(self, key: str) -> List[str]:
+        return self.engine.panic_chain(key)
+
     def thread_escape(self):
         """Program-wide thread-escape facts (engine-owned, lazy)."""
         return self.engine.thread_escape()

@@ -20,6 +20,9 @@ from repro.detectors.memory_misc import (
     DoubleFreeDetector, InvalidFreeDetector, NullDerefDetector,
     UninitReadDetector,
 )
+from repro.detectors.panic_safety import (
+    BadDropDetector, PanicSafetyDetector, UninitExposureDetector,
+)
 from repro.detectors.report import Report
 from repro.detectors.unsafe_prop import (
     InteriorUnsafeAuditDetector, UncheckedUnsafeInputDetector,
@@ -39,6 +42,9 @@ ALL_DETECTORS: List[Type[Detector]] = [
     InvalidFreeDetector,
     NullDerefDetector,
     UninitReadDetector,
+    PanicSafetyDetector,
+    BadDropDetector,
+    UninitExposureDetector,
     BufferOverflowDetector,
     LockOrderDetector,
     DeadlockDetector,
@@ -56,7 +62,9 @@ ALL_DETECTORS: List[Type[Detector]] = [
 MEMORY_DETECTORS = [UseAfterFreeDetector, DanglingReturnDetector,
                     DoubleFreeDetector,
                     InvalidFreeDetector, NullDerefDetector,
-                    UninitReadDetector, BufferOverflowDetector,
+                    UninitReadDetector, PanicSafetyDetector,
+                    BadDropDetector, UninitExposureDetector,
+                    BufferOverflowDetector,
                     UnsafeLeakDetector, UncheckedUnsafeInputDetector]
 CONCURRENCY_DETECTORS = [DoubleLockDetector, LockOrderDetector,
                          DeadlockDetector,
@@ -112,20 +120,36 @@ def apply_subsumption(report: Report) -> Report:
     ``double-lock`` never overlaps: a lock-graph cycle has at least two
     *distinct* locks per its node-identity rule, while double-lock is
     one lock acquired twice by one thread.
+
+    The panic-model detectors add two more rules.  A ``panic-safety``
+    finding proves the double ownership *and* the panic edge that
+    manifests it, so it subsumes the flow-insensitive ``double-free`` /
+    ``use-after-free`` reports on the same function (matched on the
+    duplicated ``source`` local when both record one).  Likewise
+    ``uninit-exposure`` proves the escaping pointer targets memory that
+    is still uninitialised, strictly stronger than ``unsafe-leak``'s
+    escape-only report on the same function.
     """
     from repro import obs
     from repro.obs.provenance import fact
 
     by_cycle = {}
     recv_sites = {}
+    panic_safety_by_fn = {}
+    exposure_by_fn = {}
     for f in report.findings:
+        if f.detector == "panic-safety":
+            panic_safety_by_fn.setdefault(f.fn_key, f)
+        elif f.detector == "uninit-exposure":
+            exposure_by_fn.setdefault(f.fn_key, f)
         if f.detector != "deadlock":
             continue
         if f.kind == "deadlock-cycle":
             by_cycle[frozenset(f.metadata.get("cycle", []))] = f
         elif f.kind == "recv-deadlock":
             recv_sites[(f.fn_key, f.span.lo)] = f
-    if not by_cycle and not recv_sites:
+    if not by_cycle and not recv_sites and not panic_safety_by_fn \
+            and not exposure_by_fn:
         return report
     kept = []
     for f in report.findings:
@@ -134,6 +158,15 @@ def apply_subsumption(report: Report) -> Report:
             winner = by_cycle.get(frozenset(f.metadata["cycle"]))
         elif f.detector == "channel" and f.kind == "recv-holding-lock":
             winner = recv_sites.get((f.fn_key, f.span.lo))
+        elif f.detector in ("double-free", "use-after-free"):
+            candidate = panic_safety_by_fn.get(f.fn_key)
+            if candidate is not None and (
+                    "source" not in f.metadata
+                    or f.metadata["source"]
+                    == candidate.metadata.get("source")):
+                winner = candidate
+        elif f.detector == "unsafe-leak":
+            winner = exposure_by_fn.get(f.fn_key)
         if winner is not None:
             obs.count("detectors.subsumed")
             winner.provenance.append(fact(

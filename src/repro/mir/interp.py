@@ -194,6 +194,16 @@ class Interpreter:
         except UBError as exc:
             return self._result("ub", error=exc)
         except RuntimePanic as exc:
+            # The main thread unwinds like any other: pending drops run
+            # innermost-frame-first.  A drop that itself trips UB during
+            # unwinding (double free of a duplicated value, Rc underflow)
+            # upgrades the outcome to "ub" — exactly the panic-safety bug
+            # class the static side's `panic-safety` detector reports.
+            if self.threads:
+                try:
+                    self._panic_thread(self.threads[0], str(exc))
+                except UBError as ub:
+                    return self._result("ub", error=ub)
             return self._result("panic", error=exc)
         except DeadlockError as exc:
             return self._result("deadlock", error=exc)
@@ -256,14 +266,27 @@ class Interpreter:
         return thread
 
     def _panic_thread(self, thread: ThreadCtx, message: str) -> None:
-        """A spawned thread panicked: poison its locks, wake joiners."""
+        """A thread panicked: poison its locks, run pending drops on the
+        unwind path (innermost frame first), free its stack, wake
+        joiners.  A ``UBError`` raised by an unwind drop propagates —
+        undefined behaviour discovered *during* unwinding is the
+        panic-safety bug class itself, and outranks the panic outcome."""
         thread.state = ThreadState.PANICKED
         thread.panic_message = message
         for lock_id, mode in list(thread.held_locks):
             state = self._lock_state(lock_id)
             state.poisoned = True
             self._release_lock(thread, lock_id, mode)
-        thread.frames.clear()
+        try:
+            for frame in reversed(thread.frames):
+                self._unwind_frame_drops(thread, frame)
+        finally:
+            for frame in thread.frames:
+                for alloc_id in frame.locals_alloc.values():
+                    alloc = self.memory._allocations.get(alloc_id)
+                    if alloc is not None and alloc.kind == "stack":
+                        self.memory.mark_dead_stack(alloc_id)
+            thread.frames.clear()
         for other in self.threads:
             if other.state is ThreadState.BLOCKED and \
                     other.block_reason == "join" and \
@@ -271,6 +294,36 @@ class Interpreter:
                 other.state = ThreadState.RUNNABLE
                 other.block_reason = ""
                 other.block_object = None
+
+    def _unwind_frame_drops(self, thread: ThreadCtx, frame: Frame) -> None:
+        """Run one frame's pending drop obligations during unwinding.
+
+        Uses the SAME :func:`repro.analysis.panic.unwind_drop_order` the
+        static landing pads are synthesised from — the one obligation
+        computation both sides share — filtered dynamically: ``UNINIT``
+        and ``MOVED`` slots, dead storage and static-aliased locals are
+        skipped (the runtime equivalent of the pads' maybe-init
+        filtering).  Dropping a guard releases (already-poisoned) locks
+        through the ordinary drop glue."""
+        # Imported here, not at module level: repro.mir must finish
+        # initialising before repro.analysis (which imports mir.cfg) can.
+        from repro.analysis.panic import unwind_drop_order
+        for local in unwind_drop_order(frame.body):
+            alloc_id = frame.locals_alloc.get(local)
+            if alloc_id is None:
+                continue
+            info = frame.body.locals[local]
+            if info.name and info.name.startswith("static:"):
+                continue
+            alloc = self.memory._allocations.get(alloc_id)
+            if alloc is None or alloc.kind != "stack" \
+                    or alloc.state is not AllocState.LIVE:
+                continue
+            value = alloc.value
+            if value is UNINIT or value is MOVED:
+                continue
+            alloc.value = MOVED
+            self.drop_value(thread, value)
 
     def call_closure_sync(self, thread: ThreadCtx, closure: ClosureValue,
                           args: List[Any]) -> Any:
@@ -1071,6 +1124,12 @@ class Interpreter:
             thread.state = ThreadState.PANICKED
             thread.panic_message = "abort"
             return
+        if term.kind is TerminatorKind.RESUME:
+            # Landing pads exist for the static analyses; the interpreter
+            # unwinds via exceptions and never jumps to them.  Reaching
+            # one means unwinding continues.
+            raise RuntimePanic("resumed unwinding", term.span,
+                               frame.body.key)
         raise InterpError(f"unsupported terminator {term.kind}")
 
     def _return_from_frame(self, thread: ThreadCtx, value: Any) -> None:

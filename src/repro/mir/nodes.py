@@ -349,6 +349,7 @@ class TerminatorKind(enum.Enum):
     ASSERT = "assert"
     UNREACHABLE = "unreachable"
     ABORT = "abort"
+    RESUME = "resume"        # end of a landing pad: continue unwinding
 
 
 @dataclass
@@ -370,6 +371,9 @@ class Terminator:
     msg: str = ""
     in_unsafe: bool = False
     unsafe_span: Optional[Span] = None     # span of the enclosing unsafe region
+    #: Landing-pad block entered when this terminator panics (CALL /
+    #: ASSERT only); ``None`` until unwind lowering runs.
+    unwind: Optional[int] = None
 
     def successors(self) -> List[int]:
         if self.kind is TerminatorKind.GOTO:
@@ -380,7 +384,10 @@ class Terminator:
                 succ.append(self.otherwise)
             return succ
         if self.kind in (TerminatorKind.CALL, TerminatorKind.ASSERT):
-            return [self.target] if self.target is not None else []
+            succ = [self.target] if self.target is not None else []
+            if self.unwind is not None:
+                succ.append(self.unwind)
+            return succ
         return []
 
     def __str__(self) -> str:
@@ -392,11 +399,16 @@ class Terminator:
         if self.kind is TerminatorKind.CALL:
             args = ", ".join(str(a) for a in self.args)
             dest = f"{self.destination} = " if self.destination else ""
-            return f"{dest}{self.func}({args}) -> bb{self.target}"
+            unwind = f", unwind: bb{self.unwind}" if self.unwind is not None \
+                else ""
+            return f"{dest}{self.func}({args}) -> bb{self.target}{unwind}"
         if self.kind is TerminatorKind.RETURN:
             return "return"
         if self.kind is TerminatorKind.ASSERT:
-            return f"assert({self.cond} == {self.expected}, {self.msg!r}) -> bb{self.target}"
+            unwind = f", unwind: bb{self.unwind}" if self.unwind is not None \
+                else ""
+            return (f"assert({self.cond} == {self.expected}, {self.msg!r}) "
+                    f"-> bb{self.target}{unwind}")
         return self.kind.value
 
 
@@ -426,6 +438,10 @@ class BasicBlock:
     index: int
     statements: List[Statement] = field(default_factory=list)
     terminator: Optional[Terminator] = None
+    #: True for landing-pad blocks synthesised by unwind lowering; they
+    #: run pending drops and end in RESUME, and the analyses that model
+    #: the happy path (scans, storage ranges, value chains) skip them.
+    cleanup: bool = False
 
 
 @dataclass
@@ -467,14 +483,25 @@ class Body:
         self.blocks.append(block)
         return block
 
-    def iter_statements(self):
-        """Yield ``(block_index, statement_index, statement)``."""
+    def iter_statements(self, include_cleanup: bool = False):
+        """Yield ``(block_index, statement_index, statement)``.
+
+        Landing pads (``cleanup`` blocks) are skipped unless requested:
+        their drops restate pending scope-exit obligations on the panic
+        path, so flattened walks that model the program text (drop
+        chains, written-sets, site inventories) must not double-count
+        them.  Panic-path reasoning reads the CFG edges instead.
+        """
         for block in self.blocks:
+            if block.cleanup and not include_cleanup:
+                continue
             for i, stmt in enumerate(block.statements):
                 yield block.index, i, stmt
 
-    def iter_terminators(self):
+    def iter_terminators(self, include_cleanup: bool = False):
         for block in self.blocks:
+            if block.cleanup and not include_cleanup:
+                continue
             if block.terminator is not None:
                 yield block.index, block.terminator
 

@@ -46,8 +46,12 @@ DEFAULT_RULES: Tuple[Tuple[str, str, Optional[float]], ...] = (
     (r"(^|\.)phases\.", "lower", None),          # BENCH_obs phase seconds
     # wall_ratio is engine-wall / baseline-wall: smaller is faster,
     # despite the "ratio" suffix that the generic rule reads as a
-    # speedup-style higher-is-better metric.
-    (r"wall_ratio", "lower", None),
+    # speedup-style higher-is-better metric.  Its ambient spread on a
+    # shared 1-CPU host exceeds the default 10% delta threshold, and
+    # the producing benchmarks already enforce an absolute ceiling
+    # (their ``max_wall_ratio``), so cross-run drift only matters when
+    # it is gross — hence the loose override.
+    (r"wall_ratio", "lower", 0.5),
     (r"(speedup|ratio|recall|throughput|hit)", "higher", None),
     (r"(seconds|wall|_s$|bytes|overhead|fraction|computes|iterations"
      r"|pickle|deserialize|evict|corrupt|stale|rss)", "lower", None),

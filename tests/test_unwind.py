@@ -1,0 +1,368 @@
+"""Unwind-aware CFG, panic-effects summaries, and the CVE-class
+detectors (panic-safety / bad-drop / uninit-exposure)."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import SummaryEngine
+from repro.analysis.panic import (
+    ensure_unwind_edges, may_unwind, terminator_panic_source,
+    unwind_drop_order,
+)
+from repro.corpus.benign import BENIGN_TEMPLATES
+from repro.corpus.inject import BUG_TEMPLATES
+from repro.detectors.registry import run_detectors
+from repro.driver import compile_source
+from repro.mir.interp import ScheduleConfig, run_program
+from repro.mir.nodes import StatementKind, TerminatorKind
+
+PANIC_WINDOW = """
+fn bug_window(flag: bool) -> i32 {
+    let mut slot = vec![1, 2, 3];
+    unsafe {
+        let tmp = ptr::read(&slot);
+        if flag {
+            panic!("mid-update");
+        }
+        ptr::write(&mut slot, tmp);
+    }
+    slot.len()
+}
+"""
+
+COMPOSED_PANIC = """
+fn inner(x: i32) -> i32 {
+    if x > 3 {
+        panic!("too big");
+    }
+    x
+}
+fn outer(x: i32) -> i32 {
+    let v = vec![1, 2];
+    inner(x) + v.len()
+}
+fn calm(x: i32) -> i32 {
+    x + 1
+}
+"""
+
+
+def _body(src, key):
+    program = compile_source(src).program
+    return program, program.body(key)
+
+
+def _run(src, **config_kwargs):
+    program = compile_source(src).program
+    return run_detectors(program,
+                         config=AnalysisConfig(**config_kwargs))
+
+
+class TestUnwindLowering:
+    def test_pads_edges_and_resume(self):
+        _program, body = _body(PANIC_WINDOW, "bug_window")
+        assert not any(b.cleanup for b in body.blocks)
+        ensure_unwind_edges(body)
+        pads = [b for b in body.blocks if b.cleanup]
+        assert pads
+        panics = [b.terminator for b in body.blocks
+                  if not b.cleanup and b.terminator is not None
+                  and terminator_panic_source(b.terminator) == "panic"]
+        assert panics and panics[0].unwind is not None
+        pad = body.blocks[panics[0].unwind]
+        assert pad.cleanup
+        assert pad.terminator.kind is TerminatorKind.RESUME
+        # The pad drops a subset of the canonical obligation order, in
+        # that order (innermost scope first).
+        order = unwind_drop_order(body)
+        dropped = tuple(s.place.local for s in pad.statements
+                        if s.kind is StatementKind.DROP)
+        assert dropped == tuple(l for l in order if l in dropped)
+        # Unwind edges flow through the ordinary successors() contract.
+        assert panics[0].unwind in panics[0].successors()
+
+    def test_lowering_is_idempotent(self):
+        _program, body = _body(PANIC_WINDOW, "bug_window")
+        ensure_unwind_edges(body)
+        n_blocks = len(body.blocks)
+        ensure_unwind_edges(body)
+        assert len(body.blocks) == n_blocks
+
+    def test_pickled_body_is_not_relowered(self):
+        # Pickling strips the underscore lowering flag, but the pads
+        # travel in `blocks` — their presence is proof of lowering.
+        _program, body = _body(PANIC_WINDOW, "bug_window")
+        ensure_unwind_edges(body)
+        clone = pickle.loads(pickle.dumps(body))
+        n_blocks = len(clone.blocks)
+        ensure_unwind_edges(clone)
+        assert len(clone.blocks) == n_blocks
+
+    def test_no_pad_without_drop_obligations(self):
+        src = """
+fn check(x: i32) -> i32 {
+    if x > 3 {
+        panic!("no");
+    }
+    x
+}
+"""
+        _program, body = _body(src, "check")
+        ensure_unwind_edges(body)
+        assert not any(b.cleanup for b in body.blocks)
+        assert all(t.unwind is None for _bb, t in body.iter_terminators())
+
+    def test_flattened_walks_skip_cleanup_blocks(self):
+        _program, body = _body(PANIC_WINDOW, "bug_window")
+        ensure_unwind_edges(body)
+        default = list(body.iter_statements())
+        with_pads = list(body.iter_statements(include_cleanup=True))
+        pad_drops = [(bb, i, s) for bb, i, s in with_pads
+                     if body.blocks[bb].cleanup]
+        assert pad_drops
+        assert default == [x for x in with_pads if x not in pad_drops]
+
+    def test_user_calls_may_unwind(self):
+        _program, body = _body(COMPOSED_PANIC, "outer")
+        calls = [t for _bb, t in body.iter_terminators()
+                 if t.kind is TerminatorKind.CALL and t.func is not None
+                 and t.func.name == "inner"]
+        assert calls and may_unwind(calls[0])
+        assert terminator_panic_source(calls[0]) is None
+
+
+class TestPanicEffects:
+    def test_direct_source(self):
+        program = compile_source(PANIC_WINDOW).program
+        engine = SummaryEngine(program, AnalysisConfig())
+        panic = engine.summary("bug_window").panic
+        assert panic.may_panic
+        assert "panic" in panic.sources
+        assert panic.hop is None
+        assert panic.unwind_drops
+
+    def test_composed_through_callee_with_hop(self):
+        program = compile_source(COMPOSED_PANIC).program
+        engine = SummaryEngine(program, AnalysisConfig())
+        inner = engine.summary("inner").panic
+        outer = engine.summary("outer").panic
+        assert inner.may_panic and inner.hop is None
+        assert "assert" in inner.sources or "panic" in inner.sources
+        assert outer.may_panic and outer.hop == "inner"
+        assert outer.sources >= inner.sources
+        assert engine.panic_chain("outer") == ["outer", "inner"]
+
+    def test_calm_function_is_bottom(self):
+        program = compile_source(COMPOSED_PANIC).program
+        engine = SummaryEngine(program, AnalysisConfig())
+        assert engine.summary("calm").panic.is_bottom
+
+
+class TestPanicSafetyDetector:
+    def test_flags_panic_in_duplication_window(self):
+        report = _run(BUG_TEMPLATES["panic_between_read_and_write"]
+                      .render("a"))
+        hits = [f for f in report.findings if f.detector == "panic-safety"]
+        assert len(hits) == 1
+        assert hits[0].metadata["panic_source"] == "panic"
+        kinds = [fact["kind"] for fact in hits[0].provenance]
+        assert "ownership-dup" in kinds
+        assert "may-panic" in kinds
+        assert "unwind-drops" in kinds
+
+    def test_guard_restore_is_clean(self):
+        report = _run(BENIGN_TEMPLATES["panic_guard_restores"]("a"))
+        assert not report.findings, \
+            [(f.detector, f.kind) for f in report.findings]
+
+    def test_subsumes_double_free_on_same_evidence(self):
+        report = _run(BUG_TEMPLATES["panic_between_read_and_write"]
+                      .render("a"))
+        detectors = {f.detector for f in report.findings}
+        assert "panic-safety" in detectors
+        assert "double-free" not in detectors
+        winner = next(f for f in report.findings
+                      if f.detector == "panic-safety")
+        assert any(fact["kind"] == "subsumed_by"
+                   for fact in winner.provenance)
+
+    def test_quiet_without_unwind_edges(self):
+        src = BUG_TEMPLATES["panic_between_read_and_write"].render("a")
+        detectors = {f.detector
+                     for f in _run(src, unwind_edges=False).findings}
+        # The ablation loses the panic model; the flow-insensitive
+        # double-free report resurfaces un-subsumed.
+        assert "panic-safety" not in detectors
+        assert "double-free" in detectors
+
+    def test_composed_panic_source_through_callee(self):
+        src = """
+fn fallible(x: i32) -> i32 {
+    if x > 3 {
+        panic!("rejected");
+    }
+    x
+}
+fn bug_update(x: i32) -> i32 {
+    let mut slot = vec![1, 2, 3];
+    unsafe {
+        let tmp = ptr::read(&slot);
+        let v = fallible(x);
+        ptr::write(&mut slot, tmp);
+        v
+    }
+}
+"""
+        report = _run(src)
+        hits = [f for f in report.findings if f.detector == "panic-safety"]
+        assert len(hits) == 1
+        assert hits[0].fn_key == "bug_update"
+        may_panic = next(fact for fact in hits[0].provenance
+                         if fact["kind"] == "may-panic")
+        assert "fallible" in (may_panic.get("callee_chain") or [])
+
+
+class TestBadDropDetector:
+    def test_flags_double_drop_in_drop_impl(self):
+        report = _run(BUG_TEMPLATES["double_drop_in_drop_impl"].render("a"))
+        hits = [f for f in report.findings if f.detector == "bad-drop"]
+        assert len(hits) == 1
+        assert hits[0].kind == "double-drop-field"
+        assert hits[0].fn_key == "Holder_a::drop"
+        assert hits[0].metadata["field"] == "data"
+
+    def test_forgotten_duplicate_is_clean(self):
+        src = """
+struct Keeper { data: Vec<i32> }
+impl Drop for Keeper {
+    fn drop(&mut self) {
+        unsafe {
+            let dup = ptr::read(&self.data);
+            mem::forget(dup);
+        }
+    }
+}
+"""
+        report = _run(src)
+        assert not [f for f in report.findings
+                    if f.detector == "bad-drop"]
+
+    def test_restored_field_is_clean(self):
+        src = """
+struct Swapper { data: Vec<i32> }
+impl Drop for Swapper {
+    fn drop(&mut self) {
+        unsafe {
+            let dup = ptr::read(&self.data);
+            ptr::write(&mut self.data, dup);
+        }
+    }
+}
+"""
+        report = _run(src)
+        assert not [f for f in report.findings
+                    if f.detector == "bad-drop"]
+
+
+class TestUninitExposureDetector:
+    def test_flags_pub_escape_of_uninit_alloc(self):
+        report = _run(BUG_TEMPLATES["uninit_pub_exposure"].render("a"))
+        hits = [f for f in report.findings
+                if f.detector == "uninit-exposure"]
+        assert len(hits) == 1
+        assert hits[0].kind == "uninit-exposure"
+        kinds = [fact["kind"] for fact in hits[0].provenance]
+        assert "uninit-alloc" in kinds
+        assert "never-written" in kinds
+        assert "pub-escape" in kinds
+        # It subsumes the weaker escape-only unsafe-leak report.
+        assert not [f for f in report.findings
+                    if f.detector == "unsafe-leak"]
+
+    def test_written_buffer_reports_only_unsafe_leak(self):
+        src = """
+pub fn make_buf() -> *mut i32 {
+    unsafe {
+        let p = alloc(16) as *mut i32;
+        ptr::write(p, 0);
+        p
+    }
+}
+"""
+        report = _run(src)
+        assert not [f for f in report.findings
+                    if f.detector == "uninit-exposure"]
+        assert [f for f in report.findings if f.detector == "unsafe-leak"]
+
+
+class TestInterpreterUnwind:
+    def test_panic_in_window_is_ub_during_unwind(self):
+        src = BUG_TEMPLATES["panic_between_read_and_write"].render("a") \
+            + "\nfn main() { bug_a(true); }\n"
+        result = run_program(compile_source(src).program,
+                             schedule=ScheduleConfig(max_steps=100_000))
+        assert result.outcome == "ub"
+        assert "freed twice" in str(result.error)
+
+    def test_no_panic_no_bug(self):
+        src = BUG_TEMPLATES["panic_between_read_and_write"].render("a") \
+            + "\nfn main() { bug_a(false); }\n"
+        result = run_program(compile_source(src).program,
+                             schedule=ScheduleConfig(max_steps=100_000))
+        assert result.outcome == "ok"
+
+    def test_guard_restore_unwinds_cleanly(self):
+        src = BENIGN_TEMPLATES["panic_guard_restores"]("a") \
+            + "\nfn main() { guarded_update_a(true); }\n"
+        result = run_program(compile_source(src).program,
+                             schedule=ScheduleConfig(max_steps=100_000))
+        assert result.outcome == "panic"
+        assert result.leaked == 0
+
+    def test_unwind_drops_pending_locals(self):
+        src = """
+fn main() {
+    let v = vec![1, 2, 3];
+    let w = vec![4, 5, 6];
+    panic!("boom");
+}
+"""
+        result = run_program(compile_source(src).program,
+                             schedule=ScheduleConfig(max_steps=100_000))
+        assert result.outcome == "panic"
+        assert result.leaked == 0
+
+
+class TestDeterminism:
+    def test_findings_stable_across_fresh_compiles(self):
+        src = "\n".join(
+            BUG_TEMPLATES[name].render(f"d{i}")
+            for i, name in enumerate(("panic_between_read_and_write",
+                                      "double_drop_in_drop_impl",
+                                      "uninit_pub_exposure")))
+
+        def run_once():
+            report = _run(src)
+            return [(f.detector, f.kind, f.fn_key, f.span.lo)
+                    for f in report.findings]
+
+        first = run_once()
+        assert first == run_once()
+        assert sorted(d for d, _k, _f, _l in first) == \
+            ["bad-drop", "panic-safety", "uninit-exposure"]
+
+
+class TestCliAblation:
+    def test_no_unwind_edges_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "t.rs"
+        path.write_text(
+            BUG_TEMPLATES["panic_between_read_and_write"].render("a"))
+        assert main(["check", str(path)]) != 0
+        assert "panic-safety" in capsys.readouterr().out
+        assert main(["check", "--no-unwind-edges", str(path)]) != 0
+        out = capsys.readouterr().out
+        assert "panic-safety" not in out
+        assert "double-free" in out
